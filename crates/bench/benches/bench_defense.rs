@@ -1,0 +1,55 @@
+//! Defense benchmarks (Section VII): detector and monitor throughput — a
+//! real operator runs these online, so per-slot cost matters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hbm_defense::{reading_for, ServerCalorimeter, SlaMonitor, ThermalResidualDetector};
+use hbm_thermal::ZoneModel;
+use hbm_units::{Duration, Power, Temperature, TemperatureDelta};
+
+fn defenses(c: &mut Criterion) {
+    c.bench_function("residual_detector_observe", |b| {
+        let mut detector = ThermalResidualDetector::new(
+            ZoneModel::paper_default(),
+            TemperatureDelta::from_celsius(0.8),
+            3,
+        );
+        b.iter(|| {
+            detector.observe(
+                black_box(Power::from_kilowatts(7.0)),
+                black_box(Temperature::from_celsius(27.5)),
+                Duration::from_minutes(1.0),
+            )
+        });
+    });
+
+    c.bench_function("calorimeter_rack_sweep_40_servers", |b| {
+        let calorimeter = ServerCalorimeter::new(Power::from_watts(40.0));
+        let readings: Vec<_> = (0..40)
+            .map(|i| {
+                let actual = if i >= 36 { 450.0 } else { 180.0 };
+                let metered = if i >= 36 { 200.0 } else { 180.0 };
+                reading_for(
+                    Power::from_watts(actual),
+                    Power::from_watts(metered),
+                    Temperature::from_celsius(27.0),
+                    0.018,
+                )
+            })
+            .collect();
+        b.iter(|| calorimeter.flag_servers(black_box(&readings)));
+    });
+
+    c.bench_function("sla_monitor_observe", |b| {
+        let mut monitor = SlaMonitor::new(0.0005, 0.001, 12.0);
+        let mut k = 0u32;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            monitor.observe(black_box(k % 300 < 5))
+        });
+    });
+}
+
+criterion_group!(benches, defenses);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Latency-model benchmarks (Figs. 11d, 14b, 15): the power-cap/load sweep
+//! that regenerates the performance-degradation curves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hbm_workload::latency::LatencyModel;
+
+fn latency(c: &mut Criterion) {
+    c.bench_function("latency_t95_single_eval", |b| {
+        let m = LatencyModel::web_service();
+        b.iter(|| m.t95_millis(black_box(0.6), black_box(0.4)));
+    });
+
+    c.bench_function("fig15_full_sweep", |b| {
+        let models = [LatencyModel::web_service(), LatencyModel::web_search()];
+        b.iter(|| {
+            let mut acc = 0.0;
+            for m in &models {
+                for step in 0..=20 {
+                    let p = 0.4 + 0.03 * step as f64;
+                    for load in [0.3, 0.4, 0.45] {
+                        acc += m.t95_normalized_to_sla(black_box(p), black_box(load));
+                    }
+                }
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(benches, latency);
+criterion_main!(benches);

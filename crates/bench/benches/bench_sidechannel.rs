@@ -1,0 +1,34 @@
+//! Voltage-side-channel benchmarks (Fig. 5b): per-slot estimation and the
+//! full error-distribution pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hbm_sidechannel::{stats::Histogram, SideChannelConfig, VoltageSideChannel};
+use hbm_units::{Duration, Power};
+use hbm_workload::{generate, TraceConfig};
+
+fn side_channel(c: &mut Criterion) {
+    c.bench_function("sidechannel_estimate_one_slot", |b| {
+        let mut sc = VoltageSideChannel::new(SideChannelConfig::paper_default(), 1);
+        b.iter(|| sc.estimate(black_box(Power::from_kilowatts(6.0))));
+    });
+
+    c.bench_function("fig5b_error_distribution_24h", |b| {
+        let trace = generate(&TraceConfig {
+            len: 1440,
+            slot: Duration::from_minutes(1.0),
+            ..TraceConfig::paper_default_year(1)
+        });
+        b.iter(|| {
+            let mut sc = VoltageSideChannel::new(SideChannelConfig::paper_default(), 1);
+            let pairs = sc.estimate_series(black_box(trace.samples()));
+            let mut hist = Histogram::new(-0.5, 0.5, 40);
+            hist.extend(pairs.iter().map(|(_, e)| e.as_kilowatts()));
+            hist.total()
+        });
+    });
+}
+
+criterion_group!(benches, side_channel);
+criterion_main!(benches);

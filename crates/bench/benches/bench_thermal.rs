@@ -1,0 +1,79 @@
+//! Thermal-substrate benchmarks (Figs. 7a, 11a, 14a): the zone model, the
+//! CFD-lite transient, and heat-matrix extraction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use hbm_thermal::{extract_heat_matrix, CfdConfig, CfdModel, ZoneModel};
+use hbm_units::{Duration, Power, Temperature};
+
+fn zone_model(c: &mut Criterion) {
+    c.bench_function("zone_step_one_minute", |b| {
+        let mut zone = ZoneModel::paper_default();
+        b.iter(|| {
+            zone.step(
+                black_box(Power::from_kilowatts(8.5)),
+                Duration::from_minutes(1.0),
+            )
+        });
+    });
+
+    c.bench_function("zone_fig11a_overload_sweep", |b| {
+        let zone = ZoneModel::paper_default();
+        let t32 = Temperature::from_celsius(32.0);
+        b.iter(|| {
+            let mut total = Duration::ZERO;
+            for kw in [0.25, 0.5, 1.0, 1.5, 2.0, 3.0] {
+                total += zone.time_to_reach(t32, Power::from_kilowatts(black_box(kw)));
+            }
+            total
+        });
+    });
+
+    c.bench_function("zone_fig14a_prototype_overload", |b| {
+        b.iter_batched(
+            ZoneModel::prototype,
+            |mut zone| {
+                let load = zone.cooling().capacity + Power::from_kilowatts(1.5);
+                zone.step(black_box(load), Duration::from_minutes(5.0))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn cfd_model(c: &mut Criterion) {
+    c.bench_function("cfd_step_one_minute_40_servers", |b| {
+        let config = CfdConfig::paper_default();
+        let mut cfd = CfdModel::new(config);
+        let powers = vec![Power::from_watts(195.0); config.server_count()];
+        b.iter(|| {
+            cfd.step(black_box(&powers), Duration::from_minutes(1.0));
+            cfd.mean_inlet()
+        });
+    });
+
+    let mut group = c.benchmark_group("matrix");
+    group.sample_size(10);
+    group.bench_function("heat_matrix_extraction_4_servers", |b| {
+        let config = CfdConfig {
+            racks: 1,
+            servers_per_rack: 4,
+            ..CfdConfig::paper_default()
+        };
+        let baseline = vec![Power::from_watts(150.0); 4];
+        b.iter(|| {
+            extract_heat_matrix(
+                black_box(&config),
+                &baseline,
+                Power::from_watts(120.0),
+                Duration::from_minutes(5.0),
+                Duration::from_minutes(1.0),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, zone_model, cfd_model);
+criterion_main!(benches);

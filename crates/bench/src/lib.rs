@@ -1,0 +1,2 @@
+//! Criterion benchmark harness for the paper's tables and figures.
+#![forbid(unsafe_code)]

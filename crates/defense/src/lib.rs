@@ -1,0 +1,43 @@
+//! Defense mechanisms against battery-assisted thermal attacks
+//! (Section VII of the paper).
+//!
+//! The paper argues the attack is *detectable with reasonable effort* — the
+//! operator just has to look. This crate implements the suggested defenses
+//! so their effectiveness can be evaluated against the simulator:
+//!
+//! **Detection**
+//! * [`ThermalResidualDetector`] — cross-checks power meters against
+//!   temperature sensors: the same metered load must not produce two
+//!   different thermal trajectories. Behind-the-meter heat shows up as a
+//!   positive residual between the observed inlet temperature and the one
+//!   predicted from metered power ("detecting behind-the-meter cooling
+//!   loads").
+//! * [`ServerCalorimeter`] — per-server outlet-temperature + airflow
+//!   metering turns each server into a calorimeter; a server whose measured
+//!   heat exceeds its metered power is running on a hidden source
+//!   ("improved data center monitoring", pinpointing the attacker).
+//! * [`SlaMonitor`] — a CUSUM statistic on thermal-emergency occurrences
+//!   catches attackers hiding inside the operator's long-term temperature
+//!   SLA ("identifying attacks from impacts").
+//!
+//! **Prevention**
+//! * [`MoveInInspection`] — probabilistic model of battery discovery at
+//!   move-in and on-site load tests.
+//! * [`prevention::jamming_noise_for_accuracy`] — sizing of power-line
+//!   jamming noise to degrade the voltage side channel (pairs with the
+//!   Fig. 12b sensitivity sweep).
+//! * Extra cooling capacity and lower setpoints are configuration changes,
+//!   exercised through `hbm_core::ColoConfig` (Fig. 12e).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attribution;
+pub mod prevention;
+mod residual;
+mod sla;
+
+pub use attribution::{reading_for, CalorimeterReading, ServerCalorimeter};
+pub use prevention::MoveInInspection;
+pub use residual::ThermalResidualDetector;
+pub use sla::SlaMonitor;

@@ -1,0 +1,160 @@
+//! Shared plumbing for the experiment harness: run-length options, CSV
+//! output, table printing, and simulation helpers.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use hbm_core::{
+    AttackPolicy, ColoConfig, ForesightedPolicy, Metrics, MyopicPolicy, RandomPolicy, SimReport,
+    Simulation,
+};
+use hbm_units::Power;
+
+/// Global experiment options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Measured horizon, days (the paper uses a year).
+    pub days: u64,
+    /// Learning warm-up horizon for Foresighted, days.
+    pub warmup_days: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Output directory for CSV files.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            days: 365,
+            warmup_days: 180,
+            seed: 1,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--days N`, `--warmup-days N`, `--seed N`, `--out DIR` from
+    /// the raw argument list, returning the remaining positional arguments.
+    pub fn parse(args: &[String]) -> Result<(Options, Vec<String>), String> {
+        let mut opts = Options::default();
+        let mut rest = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut take = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--days" => {
+                    opts.days = take("--days")?
+                        .parse()
+                        .map_err(|e| format!("--days: {e}"))?
+                }
+                "--warmup-days" => {
+                    opts.warmup_days = take("--warmup-days")?
+                        .parse()
+                        .map_err(|e| format!("--warmup-days: {e}"))?
+                }
+                "--seed" => {
+                    opts.seed = take("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
+                "--out" => opts.out_dir = PathBuf::from(take("--out")?),
+                other => rest.push(other.to_string()),
+            }
+        }
+        Ok((opts, rest))
+    }
+
+    /// Measured slots.
+    pub fn slots(&self) -> u64 {
+        self.days * 24 * 60
+    }
+
+    /// Warm-up slots.
+    pub fn warmup_slots(&self) -> u64 {
+        self.warmup_days * 24 * 60
+    }
+}
+
+/// Writes rows as CSV into `<out>/<name>.csv` and echoes where it went.
+pub fn write_csv(opts: &Options, name: &str, header: &str, rows: &[String]) {
+    if let Err(e) = fs::create_dir_all(&opts.out_dir) {
+        eprintln!("warning: cannot create {}: {e}", opts.out_dir.display());
+        return;
+    }
+    let path = opts.out_dir.join(format!("{name}.csv"));
+    match fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{header}");
+            for r in rows {
+                let _ = writeln!(f, "{r}");
+            }
+            println!("  [csv] {}", path.display());
+        }
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Prints a section heading.
+pub fn heading(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Builds and runs a simulation, warming up learning policies first.
+pub fn run_policy(
+    config: &ColoConfig,
+    policy: Box<dyn AttackPolicy>,
+    opts: &Options,
+    needs_warmup: bool,
+) -> SimReport {
+    let mut sim = Simulation::new(config.clone(), policy, opts.seed);
+    if needs_warmup {
+        sim.warmup(opts.warmup_slots());
+    }
+    sim.run(opts.slots())
+}
+
+/// The canonical trio of repeated-attack policies at their default settings.
+pub fn default_policies(config: &ColoConfig, opts: &Options) -> Vec<(String, Box<dyn AttackPolicy>, bool)> {
+    vec![
+        (
+            "random".into(),
+            Box::new(RandomPolicy::new(
+                0.08,
+                config.attack_load,
+                config.slot,
+                opts.seed,
+            )) as Box<dyn AttackPolicy>,
+            false,
+        ),
+        (
+            "myopic".into(),
+            Box::new(MyopicPolicy::new(Power::from_kilowatts(7.4))),
+            false,
+        ),
+        (
+            "foresighted".into(),
+            Box::new(ForesightedPolicy::paper_default(14.0, opts.seed)),
+            true,
+        ),
+    ]
+}
+
+/// One-line metrics summary.
+pub fn summary_line(name: &str, m: &Metrics) -> String {
+    format!(
+        "{name:12}  attack {:5.2} h/day   emergencies {:6.3} % of time ({} events)   avg dT {:5.3} K   latency x{:4.2}   outages {}",
+        m.attack_hours_per_day(),
+        100.0 * m.emergency_fraction(),
+        m.emergency_events,
+        m.avg_delta_t().as_celsius(),
+        m.mean_emergency_degradation(),
+        m.outage_events,
+    )
+}

@@ -1,0 +1,91 @@
+//! `experiments` — regenerates every table and figure of *Heat Behind the
+//! Meter* (HPCA 2021) from the workspace simulator.
+//!
+//! ```text
+//! experiments <id>... [--days N] [--warmup-days N] [--seed N] [--out DIR]
+//! experiments all [--days N] ...
+//! ```
+//!
+//! Each experiment prints a summary table and writes the full data series
+//! to `<out>/<id>.csv`. `--days` shortens the measured horizon (the paper
+//! uses a year; smoke runs are fine with 30–60 days).
+
+mod common;
+mod figs_attack;
+mod figs_defense;
+mod figs_extra;
+mod figs_infra;
+mod figs_perf;
+mod figs_sense;
+
+use common::Options;
+
+type Runner = fn(&Options);
+
+const EXPERIMENTS: &[(&str, Runner)] = &[
+    ("table1", figs_infra::table1),
+    ("fig5b", figs_infra::fig5b),
+    ("fig6b", figs_infra::fig6b),
+    ("fig7a", figs_infra::fig7a),
+    ("fig7b", figs_infra::fig7b),
+    ("fig8", figs_attack::fig8),
+    ("fig9", figs_attack::fig9),
+    ("fig10", figs_attack::fig10),
+    ("fig11a", figs_sense::fig11a),
+    ("fig11bc", figs_attack::fig11bc),
+    ("fig11d", figs_attack::fig11d),
+    ("fig12a", figs_sense::fig12a),
+    ("fig12b", figs_sense::fig12b),
+    ("fig12c", figs_sense::fig12c),
+    ("fig12d", figs_sense::fig12d),
+    ("fig12e", figs_sense::fig12e),
+    ("fig13a", figs_infra::fig13a),
+    ("fig13b", figs_attack::fig13b),
+    ("fig14a", figs_infra::fig14a),
+    ("fig14b", figs_perf::fig14b),
+    ("fig15", figs_perf::fig15),
+    ("cost", figs_attack::cost),
+    ("defense", figs_defense::defense),
+    ("ablation", figs_extra::ablation),
+    ("defense_roc", figs_extra::defense_roc),
+    ("latency_validation", figs_extra::latency_validation),
+    ("placement", figs_extra::placement),
+    ("outlet_only", figs_extra::outlet_only),
+    ("setpoint", figs_extra::setpoint),
+];
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, ids) = match Options::parse(&raw) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if ids.is_empty() {
+        eprintln!("usage: experiments <id>... | all   [--days N] [--warmup-days N] [--seed N] [--out DIR]");
+        eprintln!("available experiments:");
+        for (name, _) in EXPERIMENTS {
+            eprintln!("  {name}");
+        }
+        std::process::exit(2);
+    }
+    let start = std::time::Instant::now();
+    for id in &ids {
+        if id == "all" {
+            for (_, f) in EXPERIMENTS {
+                f(&opts);
+            }
+            continue;
+        }
+        match EXPERIMENTS.iter().find(|(name, _)| name == id) {
+            Some((_, f)) => f(&opts),
+            None => {
+                eprintln!("error: unknown experiment {id:?} (try `experiments` with no args for the list)");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("\n[{} experiment(s) in {:.1?}]", ids.len(), start.elapsed());
+}

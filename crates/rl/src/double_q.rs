@@ -1,0 +1,223 @@
+//! Double Q-learning (van Hasselt, 2010).
+//!
+//! Standard Q-learning's `max` operator overestimates action values under
+//! noise — a bias this workspace ran into directly while developing the
+//! attacker (an inflated post-state value can make "wait" look better than
+//! "attack" forever). Double Q-learning removes the bias by maintaining two
+//! tables and using one to *select* the best next action and the other to
+//! *evaluate* it. It is provided as an additional baseline for the
+//! learning-rule ablation.
+
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use crate::QTable;
+
+/// Double Q-learning over dense `usize` states/actions.
+///
+/// On each update, a fair coin picks which table is updated:
+///
+/// ```text
+/// Q_a(s,α) ← (1−δ)·Q_a(s,α) + δ·[r + γ·Q_b(s', argmax_{α'} Q_a(s',α'))]
+/// ```
+///
+/// Greedy action selection uses the *sum* of the tables.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_rl::DoubleQLearning;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut agent = DoubleQLearning::new(2, 2, 0.9);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// agent.update(0, 1, 1.0, 1, &[0, 1], 0.5, &mut rng);
+/// assert!(agent.value(0, 1) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DoubleQLearning {
+    a: QTable,
+    b: QTable,
+    gamma: f64,
+}
+
+impl DoubleQLearning {
+    /// Creates an agent with two zeroed tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero or `gamma` is outside `[0, 1)`.
+    pub fn new(states: usize, actions: usize, gamma: f64) -> Self {
+        assert!((0.0..1.0).contains(&gamma), "discount must be in [0, 1)");
+        DoubleQLearning {
+            a: QTable::new(states, actions),
+            b: QTable::new(states, actions),
+            gamma,
+        }
+    }
+
+    /// Discount factor γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Combined (summed) value of `(s, a)` — the selection criterion.
+    pub fn value(&self, s: usize, a: usize) -> f64 {
+        self.a.get(s, a) + self.b.get(s, a)
+    }
+
+    /// Greedy action among `allowed` by combined value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `allowed` is empty.
+    pub fn select_greedy(&self, s: usize, allowed: &[usize]) -> usize {
+        assert!(!allowed.is_empty(), "no allowed actions");
+        let mut best = allowed[0];
+        let mut best_v = f64::NEG_INFINITY;
+        for &a in allowed {
+            let v = self.value(s, a);
+            if v > best_v {
+                best = a;
+                best_v = v;
+            }
+        }
+        best
+    }
+
+    /// ε-greedy selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `allowed` is empty or `epsilon` is outside `[0, 1]`.
+    pub fn select<R: RngExt + ?Sized>(
+        &self,
+        s: usize,
+        allowed: &[usize],
+        epsilon: f64,
+        rng: &mut R,
+    ) -> usize {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0, 1]");
+        assert!(!allowed.is_empty(), "no allowed actions");
+        if rng.random::<f64>() < epsilon {
+            allowed[rng.random_range(0..allowed.len())]
+        } else {
+            self.select_greedy(s, allowed)
+        }
+    }
+
+    /// One double-Q update for the transition `(s, a, r, s')`; the coin
+    /// flip consuming `rng` decides which table learns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range, `allowed_next` is empty, or
+    /// `delta` is outside `(0, 1]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn update<R: RngExt + ?Sized>(
+        &mut self,
+        s: usize,
+        a: usize,
+        reward: f64,
+        s_next: usize,
+        allowed_next: &[usize],
+        delta: f64,
+        rng: &mut R,
+    ) {
+        let flip: bool = rng.random();
+        let (learner, evaluator) = if flip {
+            (&mut self.a, &self.b)
+        } else {
+            (&mut self.b, &self.a)
+        };
+        let chosen = learner.best_action(s_next, allowed_next);
+        let target = reward + self.gamma * evaluator.get(s_next, chosen);
+        learner.blend(s, a, target, delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The classic bias demo: from state 0, action 0 terminates with 0
+    /// reward; action 1 moves to state 1 where every one of many actions
+    /// pays noisy reward with mean −0.1. Optimal is action 0, but plain
+    /// Q-learning's max over noisy estimates makes action 1 look positive
+    /// for a long time.
+    fn noisy_env(
+        rng: &mut StdRng,
+        s: usize,
+        _a: usize,
+    ) -> (f64, usize) {
+        if s == 1 {
+            let noise = rng.random::<f64>() * 2.0 - 1.0; // ±1
+            (-0.1 + noise, 2) // terminal
+        } else {
+            (0.0, 1)
+        }
+    }
+
+    #[test]
+    fn double_q_resists_maximization_bias() {
+        let actions_in_b = 8usize;
+        let mut env_rng = StdRng::seed_from_u64(3);
+        let mut sel_rng = StdRng::seed_from_u64(4);
+
+        let mut double = DoubleQLearning::new(3, actions_in_b, 0.95);
+        let mut single = crate::QLearning::new(3, actions_in_b, 0.95);
+
+        let allowed_b: Vec<usize> = (0..actions_in_b).collect();
+        for _ in 0..4000 {
+            // From state 0, action 1 = "enter the casino".
+            let (r0, s1) = noisy_env(&mut env_rng, 0, 1);
+            double.update(0, 1, r0, s1, &allowed_b, 0.1, &mut sel_rng);
+            single.update(0, 1, r0, s1, &allowed_b, 0.1);
+            // One noisy pull inside.
+            let a = sel_rng.random_range(0..actions_in_b);
+            let (r1, s2) = noisy_env(&mut env_rng, 1, a);
+            double.update(1, a, r1, s2, &[0], 0.1, &mut sel_rng);
+            single.update(1, a, r1, s2, &[0], 0.1);
+        }
+        let double_estimate = double.value(0, 1) / 2.0;
+        let single_estimate = single.table().get(0, 1);
+        // True value ≈ γ·(−0.1) < 0. Double-Q must be markedly less
+        // optimistic than single Q.
+        assert!(
+            double_estimate < single_estimate - 0.05,
+            "double {double_estimate} should undercut single {single_estimate}"
+        );
+    }
+
+    #[test]
+    fn learns_a_simple_chain() {
+        // state 0 --a1(+1)--> 0 ; a0 pays 0. Same toy as QLearning's test.
+        let mut agent = DoubleQLearning::new(2, 2, 0.9);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = 0;
+        for _ in 0..5000 {
+            let a = agent.select(s, &[0, 1], 0.2, &mut rng);
+            let (r, s2) = match (s, a) {
+                (0, 1) => (1.0, 0),
+                (0, 0) => (0.0, 1),
+                (1, _) => (0.0, 0),
+                _ => unreachable!(),
+            };
+            agent.update(s, a, r, s2, &[0, 1], 0.1, &mut rng);
+            s = s2;
+        }
+        assert_eq!(agent.select_greedy(0, &[0, 1]), 1);
+    }
+
+    #[test]
+    fn combined_value_is_sum_of_tables() {
+        let mut agent = DoubleQLearning::new(1, 1, 0.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        agent.update(0, 0, 2.0, 0, &[0], 1.0, &mut rng);
+        // One table holds ~2 (plus bootstrap), the other 0.
+        assert!(agent.value(0, 0) >= 2.0);
+    }
+}

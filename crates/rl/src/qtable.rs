@@ -1,0 +1,183 @@
+//! Dense state–action value table.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `states × actions` table of action values with visit counts.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_rl::QTable;
+///
+/// let mut q = QTable::new(3, 2);
+/// q.set(1, 0, 2.5);
+/// q.set(1, 1, 1.0);
+/// assert_eq!(q.best_action(1, &[0, 1]), 0);
+/// assert_eq!(q.max(1, &[0, 1]), 2.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTable {
+    states: usize,
+    actions: usize,
+    values: Vec<f64>,
+    visits: Vec<u64>,
+}
+
+impl QTable {
+    /// Creates a zero-initialized table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` or `actions` is zero.
+    pub fn new(states: usize, actions: usize) -> Self {
+        assert!(states > 0 && actions > 0, "table must be non-empty");
+        QTable {
+            states,
+            actions,
+            values: vec![0.0; states * actions],
+            visits: vec![0; states * actions],
+        }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states
+    }
+
+    /// Number of actions.
+    pub fn action_count(&self) -> usize {
+        self.actions
+    }
+
+    fn idx(&self, s: usize, a: usize) -> usize {
+        assert!(s < self.states, "state index out of range");
+        assert!(a < self.actions, "action index out of range");
+        s * self.actions + a
+    }
+
+    /// Value of `(s, a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn get(&self, s: usize, a: usize) -> f64 {
+        self.values[self.idx(s, a)]
+    }
+
+    /// Sets the value of `(s, a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn set(&mut self, s: usize, a: usize, v: f64) {
+        let i = self.idx(s, a);
+        self.values[i] = v;
+    }
+
+    /// Exponential-smoothing update `Q ← (1−δ)Q + δ·target`, incrementing
+    /// the visit count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or `δ` is outside `(0, 1]`.
+    pub fn blend(&mut self, s: usize, a: usize, target: f64, delta: f64) {
+        assert!(delta > 0.0 && delta <= 1.0, "learning rate must be in (0, 1]");
+        let i = self.idx(s, a);
+        self.values[i] = (1.0 - delta) * self.values[i] + delta * target;
+        self.visits[i] += 1;
+    }
+
+    /// Number of updates applied to `(s, a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn visit_count(&self, s: usize, a: usize) -> u64 {
+        self.visits[self.idx(s, a)]
+    }
+
+    /// Greedy action among `allowed`, ties broken toward the earliest entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `allowed` is empty or contains out-of-range actions.
+    pub fn best_action(&self, s: usize, allowed: &[usize]) -> usize {
+        assert!(!allowed.is_empty(), "no allowed actions");
+        let mut best = allowed[0];
+        let mut best_v = self.get(s, allowed[0]);
+        for &a in &allowed[1..] {
+            let v = self.get(s, a);
+            if v > best_v {
+                best = a;
+                best_v = v;
+            }
+        }
+        best
+    }
+
+    /// Maximum value over `allowed` actions in state `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `allowed` is empty or contains out-of-range actions.
+    pub fn max(&self, s: usize, allowed: &[usize]) -> f64 {
+        self.get(s, self.best_action(s, allowed))
+    }
+
+    /// Fills every entry with `v` (used for optimistic initialization).
+    pub fn fill(&mut self, v: f64) {
+        self.values.fill(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blend_moves_toward_target() {
+        let mut q = QTable::new(2, 2);
+        q.blend(0, 1, 10.0, 0.5);
+        assert_eq!(q.get(0, 1), 5.0);
+        q.blend(0, 1, 10.0, 0.5);
+        assert_eq!(q.get(0, 1), 7.5);
+        assert_eq!(q.visit_count(0, 1), 2);
+    }
+
+    #[test]
+    fn best_action_respects_allowed_set() {
+        let mut q = QTable::new(1, 3);
+        q.set(0, 0, 5.0);
+        q.set(0, 1, 1.0);
+        q.set(0, 2, 3.0);
+        assert_eq!(q.best_action(0, &[0, 1, 2]), 0);
+        assert_eq!(q.best_action(0, &[1, 2]), 2);
+    }
+
+    #[test]
+    fn ties_break_to_first_listed() {
+        let q = QTable::new(1, 3);
+        assert_eq!(q.best_action(0, &[2, 0, 1]), 2);
+    }
+
+    #[test]
+    fn fill_sets_everything() {
+        let mut q = QTable::new(2, 2);
+        q.fill(1.5);
+        assert_eq!(q.max(1, &[0, 1]), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_state_rejected() {
+        let q = QTable::new(2, 2);
+        let _ = q.get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no allowed actions")]
+    fn empty_allowed_rejected() {
+        let q = QTable::new(1, 1);
+        let _ = q.best_action(0, &[]);
+    }
+}

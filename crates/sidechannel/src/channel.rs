@@ -1,0 +1,258 @@
+//! The attacker's end-to-end load estimator.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use hbm_units::Power;
+
+use crate::{Adc, PduLine, PfcRipple};
+
+/// Configuration of the attacker's voltage side channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SideChannelConfig {
+    /// Electrical model of the shared feed.
+    pub line: PduLine,
+    /// PFC ripple model.
+    pub ripple: PfcRipple,
+    /// ADC used on the DC (sag) path.
+    pub dc_adc: Adc,
+    /// ADC used on the filtered ripple path.
+    pub ripple_adc: Adc,
+    /// Standard deviation of slow grid-voltage wander, in volts. This is the
+    /// dominant disturbance on the DC path.
+    pub grid_wander_volts: f64,
+    /// Relative calibration error of the attacker's gain estimates (e.g.
+    /// 0.02 = gains known to within 2 %).
+    pub calibration_error: f64,
+    /// Number of raw samples averaged per estimate; averaging shrinks the
+    /// per-sample noise by `1/√n`.
+    pub samples_per_estimate: u32,
+    /// Extra zero-mean Gaussian noise added to the final estimate. Zero by
+    /// default; raised to model operator jamming (Section VII-A) and the
+    /// Fig. 12(b) sensitivity sweep.
+    pub extra_noise: Power,
+}
+
+impl SideChannelConfig {
+    /// Default calibration matching the paper's "high accuracy" channel
+    /// (estimation error within a few hundred watts on an 8 kW feed).
+    pub fn paper_default() -> Self {
+        SideChannelConfig {
+            line: PduLine::paper_default(),
+            ripple: PfcRipple::paper_default(),
+            dc_adc: Adc::paper_default(),
+            ripple_adc: Adc::ripple_default(),
+            grid_wander_volts: 0.2,
+            calibration_error: 0.015,
+            samples_per_estimate: 64,
+            extra_noise: Power::ZERO,
+        }
+    }
+
+    /// Returns a copy with a different extra-noise level (Fig. 12b).
+    pub fn with_extra_noise(mut self, noise: Power) -> Self {
+        self.extra_noise = noise;
+        self
+    }
+}
+
+/// A stateful estimator of the aggregate PDU load.
+///
+/// Holds the attacker's RNG (for noise processes) and the slowly varying
+/// grid-wander state, so consecutive estimates are realistically correlated.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_sidechannel::{SideChannelConfig, VoltageSideChannel};
+/// use hbm_units::Power;
+///
+/// let mut sc = VoltageSideChannel::new(SideChannelConfig::paper_default(), 1);
+/// let err = sc.estimate(Power::from_kilowatts(5.0)) - Power::from_kilowatts(5.0);
+/// assert!(err.abs() < Power::from_kilowatts(0.5));
+/// ```
+#[derive(Debug)]
+pub struct VoltageSideChannel {
+    config: SideChannelConfig,
+    rng: StdRng,
+    /// Current grid-wander offset in volts (AR(1) process).
+    wander: f64,
+    /// Multiplicative calibration biases drawn once at setup.
+    dc_gain_bias: f64,
+    ripple_gain_bias: f64,
+}
+
+impl VoltageSideChannel {
+    /// Creates a side channel with the given configuration and RNG seed.
+    pub fn new(config: SideChannelConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spread = config.calibration_error;
+        let dc_gain_bias = 1.0 + spread * std_normal(&mut rng);
+        let ripple_gain_bias = 1.0 + spread * std_normal(&mut rng);
+        VoltageSideChannel {
+            config,
+            rng,
+            wander: 0.0,
+            dc_gain_bias,
+            ripple_gain_bias,
+        }
+    }
+
+    /// The configuration this channel was built with.
+    pub fn config(&self) -> &SideChannelConfig {
+        &self.config
+    }
+
+    /// Produces one estimate of the aggregate PDU power given the true value.
+    ///
+    /// Call once per simulation slot; the grid-wander state advances each
+    /// call.
+    pub fn estimate(&mut self, true_total: Power) -> Power {
+        let cfg = &self.config;
+        let n = cfg.samples_per_estimate.max(1) as f64;
+        let avg_factor = n.sqrt();
+
+        // Slow grid wander: AR(1) with a long time constant.
+        self.wander = 0.995 * self.wander
+            + cfg.grid_wander_volts * 0.1 * std_normal(&mut self.rng);
+
+        // --- DC sag path ---
+        let true_v = cfg.line.outlet_volts(true_total) + self.wander;
+        let sensed_v = cfg.dc_adc.quantize(true_v)
+            + cfg.dc_adc.lsb_volts() / avg_factor * std_normal(&mut self.rng);
+        let p_dc = cfg.line.power_from_outlet_volts(sensed_v) * self.dc_gain_bias;
+
+        // --- PFC ripple path ---
+        let amp_mv = cfg.ripple.amplitude_mv(true_total)
+            + cfg.ripple.process_noise_mv / avg_factor * std_normal(&mut self.rng);
+        let sensed_mv = cfg.ripple_adc.quantize(amp_mv / 1000.0) * 1000.0;
+        let p_ripple =
+            cfg.ripple.power_from_amplitude(sensed_mv) * self.ripple_gain_bias;
+
+        // --- Fusion ---
+        // The ripple path is the workhorse (robust to grid wander); the DC
+        // path is a sanity anchor. Weights follow the inverse error
+        // variances of the two paths under the default calibration.
+        let fused = p_ripple * 0.9 + p_dc * 0.1;
+
+        let jammed = fused
+            + cfg.extra_noise * std_normal(&mut self.rng);
+        jammed.positive_part()
+    }
+
+    /// Runs the channel over a whole series and returns `(estimate, error)`
+    /// pairs, as used for the Fig. 5(b) distribution.
+    pub fn estimate_series(&mut self, truth: &[Power]) -> Vec<(Power, Power)> {
+        truth
+            .iter()
+            .map(|&p| {
+                let est = self.estimate(p);
+                (est, est - p)
+            })
+            .collect()
+    }
+}
+
+/// One standard-normal draw via Box–Muller (rand ships no Gaussian sampler
+/// in the approved dependency set).
+fn std_normal<R: RngExt + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_track_truth() {
+        let mut sc = VoltageSideChannel::new(SideChannelConfig::paper_default(), 7);
+        for kw in [3.0, 5.0, 6.5, 7.5] {
+            let p = Power::from_kilowatts(kw);
+            let est = sc.estimate(p);
+            assert!(
+                (est - p).abs() < Power::from_kilowatts(0.5),
+                "estimate {est} too far from {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_error_mostly_within_five_percent() {
+        // The paper's Fig. 5(b) shows tightly concentrated errors; require
+        // ≥90 % of estimates within ±5 % at a typical 6 kW operating point.
+        let mut sc = VoltageSideChannel::new(SideChannelConfig::paper_default(), 11);
+        let truth = vec![Power::from_kilowatts(6.0); 2000];
+        let pairs = sc.estimate_series(&truth);
+        let within = pairs
+            .iter()
+            .filter(|(_, e)| e.abs() <= Power::from_kilowatts(0.3))
+            .count();
+        assert!(
+            within as f64 / pairs.len() as f64 > 0.9,
+            "only {within}/2000 within ±5 %"
+        );
+    }
+
+    #[test]
+    fn extra_noise_degrades_accuracy() {
+        let clean_cfg = SideChannelConfig::paper_default();
+        let noisy_cfg = clean_cfg.with_extra_noise(Power::from_kilowatts(0.6));
+        let truth = vec![Power::from_kilowatts(6.0); 3000];
+        let rmse = |cfg: SideChannelConfig| {
+            let mut sc = VoltageSideChannel::new(cfg, 5);
+            let pairs = sc.estimate_series(&truth);
+            (pairs
+                .iter()
+                .map(|(_, e)| e.as_kilowatts().powi(2))
+                .sum::<f64>()
+                / pairs.len() as f64)
+                .sqrt()
+        };
+        let clean = rmse(clean_cfg);
+        let noisy = rmse(noisy_cfg);
+        assert!(
+            noisy > clean * 2.0,
+            "jamming should clearly degrade the channel: {clean} vs {noisy}"
+        );
+    }
+
+    #[test]
+    fn estimates_never_negative() {
+        let cfg = SideChannelConfig::paper_default()
+            .with_extra_noise(Power::from_kilowatts(2.0));
+        let mut sc = VoltageSideChannel::new(cfg, 3);
+        for _ in 0..500 {
+            assert!(sc.estimate(Power::from_kilowatts(0.2)) >= Power::ZERO);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SideChannelConfig::paper_default();
+        let mut a = VoltageSideChannel::new(cfg, 9);
+        let mut b = VoltageSideChannel::new(cfg, 9);
+        for kw in [1.0, 4.0, 7.0] {
+            let p = Power::from_kilowatts(kw);
+            assert_eq!(a.estimate(p), b.estimate(p));
+        }
+    }
+
+    #[test]
+    fn std_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| std_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+}

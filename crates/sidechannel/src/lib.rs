@@ -1,0 +1,47 @@
+//! Voltage side channel for estimating co-located tenants' power draw.
+//!
+//! To time its attacks, the malicious tenant must know when the benign
+//! tenants' aggregate load is high — information the operator does not share.
+//! The paper adopts the *voltage side channel* of Islam & Ren (CCS'18): every
+//! server connected to a shared PDU sees a supply voltage that sags with the
+//! total current through the shared cable (Ohm's law), and the high-frequency
+//! ripple injected by power-factor-correction (PFC) circuits has an amplitude
+//! strongly correlated with the total server load. An ADC on the attacker's
+//! own power input is enough to recover the aggregate power with a few
+//! percent error (Fig. 5b).
+//!
+//! This crate models that chain at the feature level:
+//!
+//! * [`PduLine`] — electrical model of the shared feed (nominal voltage,
+//!   cable resistance) producing the DC sag;
+//! * [`PfcRipple`] — load-correlated ripple amplitude with process noise;
+//! * [`Adc`] — quantization and input-referred noise of the attacker's
+//!   sampler;
+//! * [`VoltageSideChannel`] — the attacker's calibrated estimator combining
+//!   both features, with optional extra noise standing in for operator
+//!   jamming (defense of Section VII-A / sensitivity of Fig. 12b).
+//!
+//! # Examples
+//!
+//! ```
+//! use hbm_sidechannel::{SideChannelConfig, VoltageSideChannel};
+//! use hbm_units::Power;
+//!
+//! let mut channel = VoltageSideChannel::new(SideChannelConfig::paper_default(), 42);
+//! let truth = Power::from_kilowatts(6.0);
+//! let estimate = channel.estimate(truth);
+//! assert!((estimate - truth).abs() < Power::from_kilowatts(0.5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adc;
+mod channel;
+mod signal;
+pub mod stats;
+pub mod waveform;
+
+pub use adc::Adc;
+pub use channel::{SideChannelConfig, VoltageSideChannel};
+pub use signal::{PduLine, PfcRipple};

@@ -1,0 +1,101 @@
+//! Property-based tests of the side channel and statistics helpers.
+
+use hbm_sidechannel::stats::{percentile, Histogram, Summary};
+use hbm_sidechannel::{Adc, PduLine, PfcRipple, SideChannelConfig, VoltageSideChannel};
+use hbm_units::Power;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adc_quantization_error_within_one_lsb(
+        bits in 6u8..16,
+        v in -10.0..260.0f64,
+    ) {
+        let adc = Adc::new(bits, 0.0, 250.0);
+        let q = adc.quantize(v);
+        let clamped = v.clamp(0.0, 250.0);
+        prop_assert!((q - clamped).abs() <= adc.lsb_volts() + 1e-12);
+    }
+
+    #[test]
+    fn line_inversion_round_trips(kw in 0.0..10.0f64) {
+        let line = PduLine::paper_default();
+        let p = Power::from_kilowatts(kw);
+        let back = line.power_from_outlet_volts(line.outlet_volts(p));
+        prop_assert!((back - p).abs() < Power::from_watts(1e-6));
+    }
+
+    #[test]
+    fn ripple_inversion_round_trips(kw in 0.0..10.0f64) {
+        let r = PfcRipple::paper_default();
+        let p = Power::from_kilowatts(kw);
+        let back = r.power_from_amplitude(r.amplitude_mv(p));
+        prop_assert!((back - p).abs() < Power::from_watts(1e-6));
+    }
+
+    #[test]
+    fn estimates_are_non_negative_and_finite(
+        seed in 0u64..500,
+        loads in prop::collection::vec(0.0..8.5f64, 1..100),
+    ) {
+        let mut sc = VoltageSideChannel::new(SideChannelConfig::paper_default(), seed);
+        for kw in loads {
+            let est = sc.estimate(Power::from_kilowatts(kw));
+            prop_assert!(est.is_finite());
+            prop_assert!(est >= Power::ZERO);
+        }
+    }
+
+    #[test]
+    fn estimation_error_bounded_under_default_config(
+        seed in 0u64..200,
+        kw in 2.0..8.0f64,
+    ) {
+        let mut sc = VoltageSideChannel::new(SideChannelConfig::paper_default(), seed);
+        let p = Power::from_kilowatts(kw);
+        // Warm the wander state, then check a run of estimates.
+        for _ in 0..20 {
+            sc.estimate(p);
+        }
+        for _ in 0..20 {
+            let err = sc.estimate(p) - p;
+            prop_assert!(err.abs() < Power::from_kilowatts(1.0), "error {err} too large");
+        }
+    }
+
+    #[test]
+    fn histogram_total_counts_all_samples(
+        samples in prop::collection::vec(-10.0..10.0f64, 0..300),
+    ) {
+        let mut h = Histogram::new(-5.0, 5.0, 20);
+        h.extend(samples.iter().cloned());
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        let in_bins: u64 = h.counts().iter().sum();
+        prop_assert_eq!(in_bins + h.underflow() + h.overflow(), h.total());
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_bounded(
+        samples in prop::collection::vec(-100.0..100.0f64, 1..200),
+        p1 in 0.0..100.0f64,
+        dp in 0.0..50.0f64,
+    ) {
+        let p2 = (p1 + dp).min(100.0);
+        let a = percentile(&samples, p1);
+        let b = percentile(&samples, p2);
+        prop_assert!(b >= a);
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(a >= min - 1e-9 && a <= max + 1e-9);
+    }
+
+    #[test]
+    fn summary_is_consistent(samples in prop::collection::vec(-50.0..50.0f64, 1..200)) {
+        let s = Summary::of(&samples);
+        prop_assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        prop_assert!(s.std >= 0.0);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+    }
+}

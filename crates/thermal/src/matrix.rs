@@ -1,0 +1,432 @@
+//! Heat-distribution matrix: extraction from the CFD model and the linear
+//! superposition model built on it.
+//!
+//! Following the paper (Section V-A, "Thermal environment"): *"to extract the
+//! heat distribution matrix, we test the data center with a heat spike from
+//! each server and measure the resulting temperature impact for 10 minutes.
+//! We repeat the process for all servers to completely build the matrix."*
+//!
+//! [`extract_heat_matrix`] does exactly that against [`CfdModel`];
+//! [`HeatMatrixModel`] then predicts per-server inlet temperatures by
+//! convolving per-server power deviations with the extracted impulse
+//! responses. Like the paper's, this is a linearization around the chosen
+//! operating point: it captures heat recirculation and advection (which
+//! servers warm which inlets, and with what delay) and is validated against
+//! the CFD model in that regime (Fig. 7a). Cooling-capacity *saturation* is
+//! inherently nonlinear, so the overload dynamics of attacks are handled by
+//! [`crate::ZoneModel`] — mirroring the paper, which likewise switches from
+//! CFD-extracted responses to an aggregate emergency model once the plant is
+//! overloaded.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use hbm_units::{Duration, Power, Temperature};
+
+use crate::{CfdConfig, CfdModel};
+
+/// Impulse responses of every server inlet to a heat spike at every server.
+///
+/// `response(source, receiver, lag)` is the inlet-temperature impact (kelvin
+/// per watt of spike power) at `receiver`, `lag` steps after a one-step
+/// spike at `source`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeatMatrix {
+    servers: usize,
+    lags: usize,
+    lag_step: Duration,
+    /// Flattened `[source][receiver][lag]`, K/W.
+    data: Vec<f64>,
+}
+
+impl HeatMatrix {
+    /// Number of servers (sources = receivers).
+    pub fn server_count(&self) -> usize {
+        self.servers
+    }
+
+    /// Number of lag steps in the response window.
+    pub fn lag_count(&self) -> usize {
+        self.lags
+    }
+
+    /// Duration of one lag step.
+    pub fn lag_step(&self) -> Duration {
+        self.lag_step
+    }
+
+    /// Impulse response entry, K/W.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn response(&self, source: usize, receiver: usize, lag: usize) -> f64 {
+        assert!(source < self.servers, "source out of range");
+        assert!(receiver < self.servers, "receiver out of range");
+        assert!(lag < self.lags, "lag out of range");
+        self.data[(source * self.servers + receiver) * self.lags + lag]
+    }
+
+    /// Total (summed over lags) impact of `source` on `receiver`, K/W.
+    pub fn total_response(&self, source: usize, receiver: usize) -> f64 {
+        (0..self.lags).map(|l| self.response(source, receiver, l)).sum()
+    }
+}
+
+/// Extracts the heat-distribution matrix from the CFD model.
+///
+/// The model is driven to steady state at `baseline` powers; then, for each
+/// server, a spike of `spike` extra watts is applied for one `lag_step` and
+/// the per-server inlet deviation is recorded at every `lag_step` boundary
+/// over `window`.
+///
+/// # Panics
+///
+/// Panics if `baseline` length mismatches the layout, `spike` is
+/// non-positive, or `window` is shorter than `lag_step`.
+///
+/// # Examples
+///
+/// ```no_run
+/// use hbm_thermal::{extract_heat_matrix, CfdConfig};
+/// use hbm_units::{Duration, Power};
+///
+/// let config = CfdConfig::paper_default();
+/// let baseline = vec![Power::from_watts(150.0); config.server_count()];
+/// let matrix = extract_heat_matrix(
+///     &config,
+///     &baseline,
+///     Power::from_watts(300.0),
+///     Duration::from_minutes(10.0),
+///     Duration::from_minutes(1.0),
+/// );
+/// assert_eq!(matrix.server_count(), 40);
+/// ```
+pub fn extract_heat_matrix(
+    config: &CfdConfig,
+    baseline: &[Power],
+    spike: Power,
+    window: Duration,
+    lag_step: Duration,
+) -> HeatMatrix {
+    assert_eq!(
+        baseline.len(),
+        config.server_count(),
+        "one baseline power per server required"
+    );
+    assert!(spike > Power::ZERO, "spike power must be positive");
+    assert!(window >= lag_step, "window must cover at least one lag step");
+    let servers = config.server_count();
+    let lags = (window / lag_step).round() as usize;
+
+    // Steady state at the operating point.
+    let mut base_model = CfdModel::new(*config);
+    base_model.run_to_steady_state(baseline, 0.002, Duration::from_minutes(60.0));
+    let base_inlets: Vec<f64> = base_model
+        .inlets()
+        .iter()
+        .map(|t| t.as_celsius())
+        .collect();
+
+    let mut data = vec![0.0; servers * servers * lags];
+    for source in 0..servers {
+        let mut model = base_model.clone();
+        let mut spiked = baseline.to_vec();
+        spiked[source] += spike;
+        for lag in 0..lags {
+            let powers = if lag == 0 { &spiked } else { &baseline.to_vec() };
+            model.step(powers, lag_step);
+            for (receiver, t) in model.inlets().iter().enumerate() {
+                let dt = t.as_celsius() - base_inlets[receiver];
+                data[(source * servers + receiver) * lags + lag] = dt / spike.as_watts();
+            }
+        }
+    }
+
+    HeatMatrix {
+        servers,
+        lags,
+        lag_step,
+        data,
+    }
+}
+
+/// Linear-superposition thermal model driven by a [`HeatMatrix`].
+///
+/// Predicts per-server inlet temperatures as the baseline inlets plus the
+/// convolution of per-server power *deviations* with the impulse responses.
+/// Temperatures are floored at the supply setpoint (the AC never cools below
+/// it, so neither does the linearization).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatMatrixModel {
+    matrix: HeatMatrix,
+    baseline_powers: Vec<Power>,
+    baseline_inlets: Vec<f64>,
+    supply_celsius: f64,
+    /// Most recent power deviations first truncated to `lags` entries;
+    /// `history[age][server]`, watts.
+    history: VecDeque<Vec<f64>>,
+}
+
+impl HeatMatrixModel {
+    /// Creates a model around the operating point the matrix was extracted
+    /// at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if vector lengths mismatch the matrix.
+    pub fn new(
+        matrix: HeatMatrix,
+        baseline_powers: Vec<Power>,
+        baseline_inlets: Vec<Temperature>,
+        supply: Temperature,
+    ) -> Self {
+        assert_eq!(baseline_powers.len(), matrix.server_count());
+        assert_eq!(baseline_inlets.len(), matrix.server_count());
+        HeatMatrixModel {
+            matrix,
+            baseline_powers,
+            baseline_inlets: baseline_inlets.iter().map(|t| t.as_celsius()).collect(),
+            supply_celsius: supply.as_celsius(),
+            history: VecDeque::new(),
+        }
+    }
+
+    /// Convenience constructor: extracts the matrix and records the baseline
+    /// in one go.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same conditions as [`extract_heat_matrix`].
+    pub fn from_cfd(
+        config: &CfdConfig,
+        baseline: &[Power],
+        spike: Power,
+        window: Duration,
+        lag_step: Duration,
+    ) -> Self {
+        let matrix = extract_heat_matrix(config, baseline, spike, window, lag_step);
+        let mut model = CfdModel::new(*config);
+        model.run_to_steady_state(baseline, 0.002, Duration::from_minutes(60.0));
+        HeatMatrixModel::new(
+            matrix,
+            baseline.to_vec(),
+            model.inlets(),
+            config.cooling.supply,
+        )
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &HeatMatrix {
+        &self.matrix
+    }
+
+    /// Advances one lag step with the given per-server powers and returns
+    /// the predicted inlet temperatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` mismatches the server count.
+    pub fn step(&mut self, powers: &[Power]) -> Vec<Temperature> {
+        let n = self.matrix.server_count();
+        assert_eq!(powers.len(), n, "one power per server required");
+        let deviation: Vec<f64> = powers
+            .iter()
+            .zip(&self.baseline_powers)
+            .map(|(&p, &b)| (p - b).as_watts())
+            .collect();
+        self.history.push_front(deviation);
+        self.history.truncate(self.matrix.lag_count());
+
+        (0..n)
+            .map(|receiver| {
+                let mut t = self.baseline_inlets[receiver];
+                for (age, dev) in self.history.iter().enumerate() {
+                    for (source, &dw) in dev.iter().enumerate() {
+                        if dw != 0.0 {
+                            t += self.matrix.response(source, receiver, age) * dw;
+                        }
+                    }
+                }
+                Temperature::from_celsius(t.max(self.supply_celsius))
+            })
+            .collect()
+    }
+
+    /// Mean of the latest prediction for a power vector (steps the model).
+    pub fn step_mean(&mut self, powers: &[Power]) -> Temperature {
+        let inlets = self.step(powers);
+        let sum: f64 = inlets.iter().map(|t| t.as_celsius()).sum();
+        Temperature::from_celsius(sum / inlets.len() as f64)
+    }
+
+    /// Clears the convolution history (back to the operating point).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbm_units::TemperatureDelta;
+
+    /// Small layout so extraction stays fast in unit tests. The baseline
+    /// keeps the plant below capacity (the linear regime matrices are
+    /// extracted in).
+    fn small_config() -> CfdConfig {
+        CfdConfig {
+            racks: 1,
+            servers_per_rack: 4,
+            cooling: crate::CoolingSystem {
+                capacity: Power::from_kilowatts(0.8),
+                supply: Temperature::from_celsius(27.0),
+                derate_onset: Temperature::from_celsius(33.0),
+                derate_per_kelvin: 0.05,
+                min_capacity_fraction: 0.65,
+            },
+            per_server_flow_kg_s: 0.018,
+            leakage_fraction: 0.06,
+            cell_mass_kg: 0.5,
+            plenum_mass_kg: 1.0,
+        }
+    }
+
+    fn small_baseline() -> Vec<Power> {
+        vec![Power::from_watts(150.0); 4]
+    }
+
+    fn small_matrix() -> HeatMatrix {
+        extract_heat_matrix(
+            &small_config(),
+            &small_baseline(),
+            Power::from_watts(120.0),
+            Duration::from_minutes(5.0),
+            Duration::from_minutes(1.0),
+        )
+    }
+
+    #[test]
+    fn matrix_dimensions() {
+        let m = small_matrix();
+        assert_eq!(m.server_count(), 4);
+        assert_eq!(m.lag_count(), 5);
+        assert_eq!(m.lag_step(), Duration::from_minutes(1.0));
+    }
+
+    #[test]
+    fn self_response_is_positive() {
+        let m = small_matrix();
+        for s in 0..4 {
+            assert!(
+                m.total_response(s, s) > 0.0,
+                "server {s} must warm its own inlet through leakage"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_response_exists_under_shared_cooling() {
+        let m = small_matrix();
+        // A spike at the bottom server must affect the top server.
+        assert!(m.total_response(0, 3) > 0.0);
+    }
+
+    #[test]
+    fn impulse_response_decays_within_window() {
+        let m = small_matrix();
+        for s in 0..4 {
+            let early: f64 = (0..2).map(|l| m.response(s, s, l)).sum();
+            let late: f64 = (3..5).map(|l| m.response(s, s, l)).sum();
+            assert!(
+                late <= early + 1e-9,
+                "response should not keep growing: early {early} late {late}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_matches_cfd_on_load_transient() {
+        // Fig. 7(a): the matrix model tracks the CFD dynamics in the regime
+        // it was extracted in.
+        let config = small_config();
+        let baseline = small_baseline();
+        let mut matrix_model = HeatMatrixModel::from_cfd(
+            &config,
+            &baseline,
+            Power::from_watts(120.0),
+            Duration::from_minutes(5.0),
+            Duration::from_minutes(1.0),
+        );
+        let mut cfd = CfdModel::new(config);
+        cfd.run_to_steady_state(&baseline, 0.002, Duration::from_minutes(60.0));
+
+        // 3-minute load excursion on server 1, then recovery.
+        let mut excursion = baseline.clone();
+        excursion[1] = Power::from_watts(290.0);
+        let mut errors = Vec::new();
+        for k in 0..8 {
+            let powers = if k < 3 { &excursion } else { &baseline };
+            let predicted = matrix_model.step_mean(powers);
+            cfd.step(powers, Duration::from_minutes(1.0));
+            errors.push((predicted - cfd.mean_inlet()).abs().as_celsius());
+        }
+        let rmse = (errors.iter().map(|e| e * e).sum::<f64>() / errors.len() as f64).sqrt();
+        assert!(rmse < 0.3, "matrix-model RMSE vs CFD too high: {rmse} K");
+    }
+
+    #[test]
+    fn superposition_is_linear() {
+        let config = small_config();
+        let baseline = small_baseline();
+        let build = || {
+            HeatMatrixModel::from_cfd(
+                &config,
+                &baseline,
+                Power::from_watts(120.0),
+                Duration::from_minutes(5.0),
+                Duration::from_minutes(1.0),
+            )
+        };
+        let mut single = build();
+        let mut double = build();
+        let mut p1 = baseline.clone();
+        p1[0] += Power::from_watts(100.0);
+        let mut p2 = baseline.clone();
+        p2[0] += Power::from_watts(200.0);
+        let t1 = single.step_mean(&p1);
+        let t2 = double.step_mean(&p2);
+        let base = single.baseline_inlets.iter().sum::<f64>() / 4.0;
+        let d1 = t1.as_celsius() - base;
+        let d2 = t2.as_celsius() - base;
+        assert!(
+            (d2 - 2.0 * d1).abs() < 1e-9,
+            "doubled deviation must double the predicted rise: {d1} vs {d2}"
+        );
+    }
+
+    #[test]
+    fn reset_returns_to_baseline() {
+        let config = small_config();
+        let baseline = small_baseline();
+        let mut model = HeatMatrixModel::from_cfd(
+            &config,
+            &baseline,
+            Power::from_watts(120.0),
+            Duration::from_minutes(5.0),
+            Duration::from_minutes(1.0),
+        );
+        let mut hot = baseline.clone();
+        hot[2] += Power::from_watts(400.0);
+        model.step(&hot);
+        model.reset();
+        let t = model.step_mean(&baseline);
+        let base = model.baseline_inlets.iter().sum::<f64>() / 4.0;
+        assert!(
+            (t.as_celsius() - base).abs() < 1e-9,
+            "after reset baseline powers must predict baseline inlets"
+        );
+        let _ = TemperatureDelta::ZERO;
+    }
+}

@@ -1,0 +1,297 @@
+//! Lumped-capacitance zone model of the contained container air.
+
+use serde::{Deserialize, Serialize};
+
+use hbm_units::{Duration, Power, Temperature, TemperatureDelta};
+
+use crate::CoolingSystem;
+
+/// Fast single-zone thermal model used for year-long simulations.
+///
+/// With hot/cold-aisle containment all servers see (approximately) one inlet
+/// temperature, so the container air can be treated as a single thermal mass
+/// `C_th`:
+///
+/// ```text
+/// C_th · dT/dt = P_it − Q_cool(T, P_it)
+/// Q_cool = min(effective_capacity(T), P_it + G·(T − T_sup)⁺)
+/// ```
+///
+/// * While `P_it` is below capacity the AC removes all server heat **plus**
+///   up to `G·(T − T_sup)` of stored heat, pulling the inlet back to the
+///   setpoint within minutes.
+/// * While `P_it` exceeds the (possibly derated) capacity the surplus
+///   integrates into the air mass, raising the inlet.
+/// * The inlet never drops below the supply setpoint.
+///
+/// Default calibration: `C_th = 40 kJ/K` (≈ container air plus light
+/// structure), so 1 kW of overload raises the inlet by the 5 K emergency
+/// margin in 200 s — within the "< 4 minutes" the paper reports (Fig. 11a) —
+/// and `G = 700 W/K`, consistent with the CFD model's loop airflow
+/// (`ṁ·c_p ≈ 0.68 kW/K`), a ≈60 s pull-down time constant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZoneModel {
+    cooling: CoolingSystem,
+    /// Thermal capacitance of the zone air, J/K.
+    heat_capacity_j_per_k: f64,
+    /// Pull-down conductance, W/K.
+    pulldown_w_per_k: f64,
+    /// Integration sub-step.
+    substep: Duration,
+    inlet: Temperature,
+}
+
+impl ZoneModel {
+    /// Creates a zone model at thermal equilibrium (inlet = supply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cooling` fails validation or parameters are non-positive.
+    pub fn new(cooling: CoolingSystem, heat_capacity_j_per_k: f64, pulldown_w_per_k: f64) -> Self {
+        cooling.validate().expect("invalid cooling system");
+        assert!(
+            heat_capacity_j_per_k > 0.0 && heat_capacity_j_per_k.is_finite(),
+            "heat capacity must be positive"
+        );
+        assert!(
+            pulldown_w_per_k > 0.0 && pulldown_w_per_k.is_finite(),
+            "pull-down conductance must be positive"
+        );
+        ZoneModel {
+            cooling,
+            heat_capacity_j_per_k,
+            pulldown_w_per_k,
+            substep: Duration::from_seconds(5.0),
+            inlet: cooling.supply,
+        }
+    }
+
+    /// The paper-calibrated 8 kW container.
+    pub fn paper_default() -> Self {
+        ZoneModel::new(CoolingSystem::paper_default(), 40_000.0, 700.0)
+    }
+
+    /// The scaled-down 14-server prototype of Appendix A (3 kW cooling),
+    /// with a smaller sealed-room air mass.
+    pub fn prototype() -> Self {
+        ZoneModel::new(CoolingSystem::prototype(), 25_000.0, 150.0)
+    }
+
+    /// The cooling plant in use.
+    pub fn cooling(&self) -> &CoolingSystem {
+        &self.cooling
+    }
+
+    /// Current server inlet temperature.
+    pub fn inlet(&self) -> Temperature {
+        self.inlet
+    }
+
+    /// Inlet rise above the supply setpoint.
+    pub fn rise(&self) -> TemperatureDelta {
+        (self.inlet - self.cooling.supply).positive_part()
+    }
+
+    /// Resets the inlet to a given temperature (e.g. after an outage).
+    pub fn set_inlet(&mut self, inlet: Temperature) {
+        assert!(inlet.is_finite(), "inlet temperature must be finite");
+        self.inlet = inlet.max(self.cooling.supply);
+    }
+
+    /// Advances the model by `dt` with a constant IT (heat) load, returning
+    /// the inlet temperature at the end of the step.
+    ///
+    /// Integrates internally with sub-steps for stability; `dt` can be a full
+    /// 1-minute simulation slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `it_load` is negative or `dt` is non-positive.
+    pub fn step(&mut self, it_load: Power, dt: Duration) -> Temperature {
+        assert!(it_load >= Power::ZERO, "IT load must be non-negative");
+        assert!(dt > Duration::ZERO, "step duration must be positive");
+        let mut remaining = dt.as_seconds();
+        while remaining > 0.0 {
+            let h = remaining.min(self.substep.as_seconds());
+            self.advance_seconds(it_load, h);
+            remaining -= h;
+        }
+        self.inlet
+    }
+
+    fn advance_seconds(&mut self, it_load: Power, h: f64) {
+        let capacity = self.cooling.effective_capacity(self.inlet);
+        let rise = (self.inlet - self.cooling.supply).positive_part().as_celsius();
+        let removable = it_load + Power::from_watts(self.pulldown_w_per_k * rise);
+        let q_cool = removable.min(capacity);
+        let net = it_load - q_cool; // may be negative (cooling down)
+        let delta = TemperatureDelta::from_celsius(net.as_watts() * h / self.heat_capacity_j_per_k);
+        self.inlet = (self.inlet + delta).max(self.cooling.supply);
+    }
+
+    /// Analytic time for the inlet to rise from the supply setpoint to
+    /// `threshold` under a constant cooling `overload` (heat beyond
+    /// capacity), ignoring derating. Used as the Fig. 11(a) reference curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overload` is non-positive.
+    pub fn time_to_reach(&self, threshold: Temperature, overload: Power) -> Duration {
+        assert!(overload > Power::ZERO, "overload must be positive");
+        let margin = (threshold - self.cooling.supply).positive_part().as_celsius();
+        Duration::from_seconds(self.heat_capacity_j_per_k * margin / overload.as_watts())
+    }
+
+    /// Like [`ZoneModel::time_to_reach`] but starting from a given inlet
+    /// temperature (the Fig. 11a "already running hotter" curves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overload` is non-positive.
+    pub fn time_to_reach_from(
+        &self,
+        start: Temperature,
+        threshold: Temperature,
+        overload: Power,
+    ) -> Duration {
+        assert!(overload > Power::ZERO, "overload must be positive");
+        let margin = (threshold - start).positive_part().as_celsius();
+        Duration::from_seconds(self.heat_capacity_j_per_k * margin / overload.as_watts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minutes_until(zone: &mut ZoneModel, load: Power, threshold: Temperature) -> f64 {
+        let step = Duration::from_seconds(5.0);
+        let mut t = 0.0;
+        while zone.inlet() < threshold {
+            zone.step(load, step);
+            t += 5.0 / 60.0;
+            assert!(t < 120.0, "never reached {threshold}");
+        }
+        t
+    }
+
+    #[test]
+    fn equilibrium_below_capacity() {
+        let mut zone = ZoneModel::paper_default();
+        for _ in 0..60 {
+            zone.step(Power::from_kilowatts(6.0), Duration::from_minutes(1.0));
+        }
+        assert_eq!(zone.inlet(), Temperature::from_celsius(27.0));
+    }
+
+    #[test]
+    fn one_kilowatt_overload_crosses_32c_within_four_minutes() {
+        let mut zone = ZoneModel::paper_default();
+        let t = minutes_until(
+            &mut zone,
+            Power::from_kilowatts(9.0),
+            Temperature::from_celsius(32.0),
+        );
+        assert!((2.0..4.0).contains(&t), "crossed in {t} min");
+    }
+
+    #[test]
+    fn bigger_overload_is_faster() {
+        let t1 = minutes_until(
+            &mut ZoneModel::paper_default(),
+            Power::from_kilowatts(8.5),
+            Temperature::from_celsius(32.0),
+        );
+        let t2 = minutes_until(
+            &mut ZoneModel::paper_default(),
+            Power::from_kilowatts(10.0),
+            Temperature::from_celsius(32.0),
+        );
+        assert!(t2 < t1);
+    }
+
+    #[test]
+    fn recovers_to_setpoint_after_overload() {
+        let mut zone = ZoneModel::paper_default();
+        zone.step(Power::from_kilowatts(10.0), Duration::from_minutes(2.5));
+        assert!(zone.inlet() > Temperature::from_celsius(31.0));
+        // Drop to a light load; should pull back to 27 °C within ~10 min.
+        for _ in 0..10 {
+            zone.step(Power::from_kilowatts(4.0), Duration::from_minutes(1.0));
+        }
+        assert!(zone.inlet() < Temperature::from_celsius(27.5));
+    }
+
+    #[test]
+    fn never_cools_below_supply() {
+        let mut zone = ZoneModel::paper_default();
+        for _ in 0..100 {
+            zone.step(Power::ZERO, Duration::from_minutes(1.0));
+            assert!(zone.inlet() >= Temperature::from_celsius(27.0));
+        }
+    }
+
+    #[test]
+    fn derating_produces_runaway_under_sustained_overload() {
+        // Total heat just above nameplate: once hot, derating makes the
+        // effective overload grow, so the inlet should reach the 45 °C
+        // shutdown limit rather than plateau.
+        let mut zone = ZoneModel::paper_default();
+        zone.step(Power::from_kilowatts(10.3), Duration::from_minutes(4.0));
+        let t = minutes_until(
+            &mut zone,
+            Power::from_kilowatts(8.2),
+            Temperature::from_celsius(45.0),
+        );
+        assert!(t < 30.0, "runaway took {t} min");
+    }
+
+    #[test]
+    fn analytic_time_matches_simulation() {
+        let zone = ZoneModel::paper_default();
+        let analytic = zone
+            .time_to_reach(Temperature::from_celsius(32.0), Power::from_kilowatts(1.0))
+            .as_minutes();
+        let simulated = minutes_until(
+            &mut ZoneModel::paper_default(),
+            Power::from_kilowatts(9.0),
+            Temperature::from_celsius(32.0),
+        );
+        assert!(
+            (analytic - simulated).abs() < 0.3,
+            "analytic {analytic} vs simulated {simulated}"
+        );
+    }
+
+    #[test]
+    fn hotter_start_reaches_threshold_sooner() {
+        let zone = ZoneModel::paper_default();
+        let from_27 = zone.time_to_reach_from(
+            Temperature::from_celsius(27.0),
+            Temperature::from_celsius(32.0),
+            Power::from_kilowatts(1.0),
+        );
+        let from_29 = zone.time_to_reach_from(
+            Temperature::from_celsius(29.0),
+            Temperature::from_celsius(32.0),
+            Power::from_kilowatts(1.0),
+        );
+        assert!(from_29 < from_27);
+    }
+
+    #[test]
+    fn step_is_substep_invariant() {
+        let mut coarse = ZoneModel::paper_default();
+        let mut fine = ZoneModel::paper_default();
+        coarse.step(Power::from_kilowatts(9.5), Duration::from_minutes(3.0));
+        for _ in 0..36 {
+            fine.step(Power::from_kilowatts(9.5), Duration::from_seconds(5.0));
+        }
+        assert!(
+            (coarse.inlet() - fine.inlet()).abs() < TemperatureDelta::from_celsius(0.01),
+            "coarse {} vs fine {}",
+            coarse.inlet(),
+            fine.inlet()
+        );
+    }
+}

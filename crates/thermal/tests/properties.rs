@@ -1,0 +1,104 @@
+//! Property-based tests of the thermal models.
+
+use hbm_thermal::{CfdConfig, CfdModel, CoolingSystem, ZoneModel};
+use hbm_units::{Duration, Power, Temperature};
+use proptest::prelude::*;
+
+fn load_sequence() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0..12.0f64, 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn zone_inlet_never_below_supply_and_always_finite(loads in load_sequence()) {
+        let mut zone = ZoneModel::paper_default();
+        let supply = zone.cooling().supply;
+        for kw in loads {
+            let t = zone.step(Power::from_kilowatts(kw), Duration::from_minutes(1.0));
+            prop_assert!(t.is_finite());
+            prop_assert!(t >= supply);
+        }
+    }
+
+    #[test]
+    fn zone_temperature_monotone_in_load(
+        base in 0.0..10.0f64,
+        extra in 0.1..3.0f64,
+        minutes in 1u32..30,
+    ) {
+        let mut cool = ZoneModel::paper_default();
+        let mut hot = ZoneModel::paper_default();
+        for _ in 0..minutes {
+            cool.step(Power::from_kilowatts(base), Duration::from_minutes(1.0));
+            hot.step(Power::from_kilowatts(base + extra), Duration::from_minutes(1.0));
+        }
+        prop_assert!(hot.inlet() >= cool.inlet());
+    }
+
+    #[test]
+    fn zone_below_capacity_stays_at_setpoint(kw in 0.0..7.9f64, minutes in 1u32..60) {
+        let mut zone = ZoneModel::paper_default();
+        for _ in 0..minutes {
+            zone.step(Power::from_kilowatts(kw), Duration::from_minutes(1.0));
+        }
+        prop_assert_eq!(zone.inlet(), Temperature::from_celsius(27.0));
+    }
+
+    #[test]
+    fn time_to_reach_monotone_decreasing_in_overload(
+        o1 in 0.1..2.0f64,
+        extra in 0.05..2.0f64,
+    ) {
+        let zone = ZoneModel::paper_default();
+        let t32 = Temperature::from_celsius(32.0);
+        let slow = zone.time_to_reach(t32, Power::from_kilowatts(o1));
+        let fast = zone.time_to_reach(t32, Power::from_kilowatts(o1 + extra));
+        prop_assert!(fast < slow);
+    }
+
+    #[test]
+    fn cooling_effective_capacity_bounded_and_monotone(
+        t1 in 27.0..60.0f64,
+        dt in 0.0..20.0f64,
+    ) {
+        let ac = CoolingSystem::paper_default();
+        let c1 = ac.effective_capacity(Temperature::from_celsius(t1));
+        let c2 = ac.effective_capacity(Temperature::from_celsius(t1 + dt));
+        prop_assert!(c2 <= c1, "capacity must not grow with room temperature");
+        prop_assert!(c1 <= ac.capacity);
+        prop_assert!(c2 >= ac.capacity * ac.min_capacity_fraction - Power::from_watts(1e-9));
+    }
+
+    #[test]
+    fn cfd_inlets_bounded_under_random_loads(
+        watts in prop::collection::vec(0.0..400.0f64, 40),
+        minutes in 1u32..8,
+    ) {
+        let config = CfdConfig::paper_default();
+        let mut cfd = CfdModel::new(config);
+        let powers: Vec<Power> = watts.iter().map(|&w| Power::from_watts(w)).collect();
+        cfd.step(&powers, Duration::from_minutes(minutes as f64));
+        for t in cfd.inlets() {
+            prop_assert!(t.is_finite());
+            prop_assert!(t.as_celsius() >= 26.99);
+            prop_assert!(t.as_celsius() < 200.0);
+        }
+    }
+
+    #[test]
+    fn cfd_mean_inlet_monotone_in_uniform_load(
+        w in 50.0..220.0f64,
+        extra in 20.0..120.0f64,
+    ) {
+        let config = CfdConfig::paper_default();
+        let mut low = CfdModel::new(config);
+        let mut high = CfdModel::new(config);
+        let p_low = vec![Power::from_watts(w); 40];
+        let p_high = vec![Power::from_watts(w + extra); 40];
+        low.step(&p_low, Duration::from_minutes(6.0));
+        high.step(&p_high, Duration::from_minutes(6.0));
+        prop_assert!(high.mean_inlet() >= low.mean_inlet());
+    }
+}

@@ -1,0 +1,62 @@
+//! Typed physical quantities for the Heat Behind the Meter simulator.
+//!
+//! Every crate in this workspace moves power, energy, temperature, and time
+//! between subsystems (power delivery, batteries, cooling, reinforcement
+//! learning). Using raw `f64` for all of them invites silent unit bugs — a
+//! kilowatt where a watt was meant, minutes where seconds were meant — which
+//! in a year-long simulation are very hard to spot. This crate provides
+//! zero-cost newtypes with the arithmetic that is physically meaningful and
+//! nothing more.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbm_units::{Power, Energy, Duration};
+//!
+//! let attack_load = Power::from_kilowatts(1.0);
+//! let slot = Duration::from_minutes(1.0);
+//! let drained: Energy = attack_load * slot;
+//! assert!((drained.as_kilowatt_hours() - 1.0 / 60.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod energy;
+mod power;
+mod temperature;
+mod time;
+
+pub use energy::Energy;
+pub use power::Power;
+pub use temperature::{Temperature, TemperatureDelta};
+pub use time::Duration;
+
+/// Number of seconds in one hour, used by power/energy conversions.
+pub(crate) const SECONDS_PER_HOUR: f64 = 3600.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_times_duration_is_energy() {
+        let e = Power::from_watts(200.0) * Duration::from_hours(2.0);
+        assert!((e.as_kilowatt_hours() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_over_duration_is_power() {
+        let p = Energy::from_kilowatt_hours(0.2) / Duration::from_hours(0.5);
+        assert!((p.as_watts() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Power>();
+        assert_send_sync::<Energy>();
+        assert_send_sync::<Temperature>();
+        assert_send_sync::<Duration>();
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the quantity arithmetic.
+
+use hbm_units::{Duration, Energy, Power, Temperature, TemperatureDelta};
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e6..1e6f64
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1e-3..1e6f64
+}
+
+proptest! {
+    #[test]
+    fn power_addition_commutes(a in finite(), b in finite()) {
+        let (pa, pb) = (Power::from_watts(a), Power::from_watts(b));
+        prop_assert_eq!(pa + pb, pb + pa);
+    }
+
+    #[test]
+    fn power_addition_associates(a in finite(), b in finite(), c in finite()) {
+        let (pa, pb, pc) = (Power::from_watts(a), Power::from_watts(b), Power::from_watts(c));
+        let lhs = ((pa + pb) + pc).as_watts();
+        let rhs = (pa + (pb + pc)).as_watts();
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn unit_conversions_round_trip(w in finite()) {
+        let p = Power::from_watts(w);
+        prop_assert!((Power::from_kilowatts(p.as_kilowatts()).as_watts() - w).abs() < 1e-9 * (1.0 + w.abs()));
+        let e = Energy::from_watt_hours(w);
+        prop_assert!((Energy::from_kilowatt_hours(e.as_kilowatt_hours()).as_watt_hours() - w).abs() < 1e-9 * (1.0 + w.abs()));
+        let d = Duration::from_seconds(w.abs());
+        prop_assert!((Duration::from_hours(d.as_hours()).as_seconds() - w.abs()).abs() < 1e-6 * (1.0 + w.abs()));
+    }
+
+    #[test]
+    fn energy_equals_power_times_time(kw in positive(), hours in 1e-3..1e3f64) {
+        let e = Power::from_kilowatts(kw) * Duration::from_hours(hours);
+        prop_assert!((e.as_kilowatt_hours() - kw * hours).abs() < 1e-9 * (1.0 + kw * hours));
+        // And the inverse relations hold.
+        let p_back = e / Duration::from_hours(hours);
+        prop_assert!((p_back.as_kilowatts() - kw).abs() < 1e-9 * (1.0 + kw));
+        let t_back = e / Power::from_kilowatts(kw);
+        prop_assert!((t_back.as_hours() - hours).abs() < 1e-9 * (1.0 + hours));
+    }
+
+    #[test]
+    fn positive_part_is_idempotent_and_non_negative(w in finite()) {
+        let p = Power::from_watts(w).positive_part();
+        prop_assert!(p >= Power::ZERO);
+        prop_assert_eq!(p.positive_part(), p);
+        let d = TemperatureDelta::from_celsius(w).positive_part();
+        prop_assert!(d >= TemperatureDelta::ZERO);
+    }
+
+    #[test]
+    fn clamp_is_within_bounds(w in finite(), lo in -1e3..0.0f64, hi in 0.0..1e3f64) {
+        let c = Power::from_watts(w).clamp(Power::from_watts(lo), Power::from_watts(hi));
+        prop_assert!(c >= Power::from_watts(lo) && c <= Power::from_watts(hi));
+    }
+
+    #[test]
+    fn temperature_delta_algebra(a in finite(), b in finite()) {
+        let ta = Temperature::from_celsius(a);
+        let d = TemperatureDelta::from_celsius(b);
+        // (t + d) - t == d
+        let back = (ta + d) - ta;
+        prop_assert!((back.as_celsius() - b).abs() < 1e-9 * (1.0 + b.abs()));
+    }
+
+    #[test]
+    fn power_ratio_inverts_scaling(kw in positive(), f in 1e-3..1e3f64) {
+        let p = Power::from_kilowatts(kw);
+        let ratio = (p * f) / p;
+        prop_assert!((ratio - f).abs() < 1e-9 * (1.0 + f));
+    }
+
+    #[test]
+    fn sum_matches_fold(values in prop::collection::vec(finite(), 0..50)) {
+        let sum: Power = values.iter().map(|&w| Power::from_watts(w)).sum();
+        let fold = values.iter().fold(0.0, |acc, w| acc + w);
+        prop_assert!((sum.as_watts() - fold).abs() < 1e-6 * (1.0 + fold.abs()));
+    }
+}

@@ -1,0 +1,191 @@
+//! Importing and exporting power traces as CSV.
+//!
+//! The paper drives its evaluation with power traces derived from
+//! production request logs. Those logs are not public, so this crate ships
+//! synthetic generators — but a user with real facility telemetry should be
+//! able to drop it in. The format is a minimal two-column CSV
+//! (`minute,kw`, header optional), the same one `experiments` writes for
+//! Figs. 6b/13a, so exported snapshots round-trip.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use hbm_units::{Duration, Power};
+
+use crate::PowerTrace;
+
+/// Error parsing a CSV power trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTraceError {
+    /// The input contained no samples.
+    Empty,
+    /// A row was malformed.
+    BadRow {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::Empty => f.write_str("trace contains no samples"),
+            ParseTraceError::BadRow { line, reason } => {
+                write!(f, "bad trace row at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl PowerTrace {
+    /// Parses a trace from CSV text: one `minute,kw` or bare `kw` value per
+    /// line; a header row and blank lines are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] if no samples are found or a row has a
+    /// non-numeric/negative power.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hbm_units::Duration;
+    /// use hbm_workload::PowerTrace;
+    ///
+    /// let csv = "minute,benign_kw\n0,5.2\n1,5.4\n2,5.3\n";
+    /// let trace = PowerTrace::from_csv_str(csv, Duration::from_minutes(1.0)).unwrap();
+    /// assert_eq!(trace.len(), 3);
+    /// ```
+    pub fn from_csv_str(csv: &str, slot: Duration) -> Result<PowerTrace, ParseTraceError> {
+        let mut samples = Vec::new();
+        for (i, raw) in csv.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            // The power value is the last comma-separated field.
+            let field = line.rsplit(',').next().unwrap_or(line).trim();
+            let kw: f64 = match field.parse() {
+                Ok(v) => v,
+                Err(_) if i == 0 => continue, // header row
+                Err(e) => {
+                    return Err(ParseTraceError::BadRow {
+                        line: i + 1,
+                        reason: format!("{field:?}: {e}"),
+                    })
+                }
+            };
+            if !kw.is_finite() || kw < 0.0 {
+                return Err(ParseTraceError::BadRow {
+                    line: i + 1,
+                    reason: format!("power must be finite and non-negative, got {kw}"),
+                });
+            }
+            samples.push(Power::from_kilowatts(kw));
+        }
+        if samples.is_empty() {
+            return Err(ParseTraceError::Empty);
+        }
+        Ok(PowerTrace::new(slot, samples))
+    }
+
+    /// Reads a trace from a CSV file (see [`PowerTrace::from_csv_str`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error message or a parse error description.
+    pub fn from_csv_file(path: impl AsRef<Path>, slot: Duration) -> Result<PowerTrace, String> {
+        let text = fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("reading {}: {e}", path.as_ref().display()))?;
+        PowerTrace::from_csv_str(&text, slot).map_err(|e| e.to_string())
+    }
+
+    /// Serializes the trace as `minute,kw` CSV with a header.
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::from("minute,kw\n");
+        for (k, p) in self.iter().enumerate() {
+            out.push_str(&format!("{k},{:.6}\n", p.as_kilowatts()));
+        }
+        out
+    }
+
+    /// Writes the trace to a CSV file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error message.
+    pub fn to_csv_file(&self, path: impl AsRef<Path>) -> Result<(), String> {
+        fs::write(path.as_ref(), self.to_csv_string())
+            .map_err(|e| format!("writing {}: {e}", path.as_ref().display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minute() -> Duration {
+        Duration::from_minutes(1.0)
+    }
+
+    #[test]
+    fn parses_two_column_csv_with_header() {
+        let t = PowerTrace::from_csv_str("minute,kw\n0,5.0\n1,6.0\n", minute()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1), Power::from_kilowatts(6.0));
+    }
+
+    #[test]
+    fn parses_bare_values() {
+        let t = PowerTrace::from_csv_str("1.5\n2.5\n\n3.5\n", minute()).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.get(2), Power::from_kilowatts(3.5));
+    }
+
+    #[test]
+    fn round_trips_through_csv() {
+        let original = crate::generate(
+            &crate::TraceConfig::paper_default_year(5).with_len(100),
+        );
+        let parsed =
+            PowerTrace::from_csv_str(&original.to_csv_string(), minute()).unwrap();
+        assert_eq!(parsed.len(), original.len());
+        for k in 0..original.len() {
+            assert!(
+                (parsed.get(k) - original.get(k)).abs() < Power::from_watts(0.01),
+                "sample {k} drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_and_negatives() {
+        let err = PowerTrace::from_csv_str("0,5.0\n1,banana\n", minute()).unwrap_err();
+        assert!(matches!(err, ParseTraceError::BadRow { line: 2, .. }));
+        let err = PowerTrace::from_csv_str("0,-1.0\n", minute()).unwrap_err();
+        assert!(matches!(err, ParseTraceError::BadRow { line: 1, .. }));
+        assert_eq!(
+            PowerTrace::from_csv_str("kw\n", minute()).unwrap_err(),
+            ParseTraceError::Empty
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("hbm_trace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        let original = crate::generate(
+            &crate::TraceConfig::paper_default_year(9).with_len(50),
+        );
+        original.to_csv_file(&path).unwrap();
+        let parsed = PowerTrace::from_csv_file(&path, minute()).unwrap();
+        assert_eq!(parsed.len(), 50);
+        let _ = std::fs::remove_file(&path);
+    }
+}

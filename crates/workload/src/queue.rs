@@ -1,0 +1,178 @@
+//! Discrete-event queueing simulation validating the analytic latency
+//! model.
+//!
+//! The paper's Fig. 15 comes from load-testing CloudSuite on real servers.
+//! This reproduction uses the analytic [`crate::latency::LatencyModel`] in
+//! year-long runs; here we validate that model against an explicit
+//! request-level simulation.
+//!
+//! The queue is the single-queue equivalent of a *capacity-cut* server:
+//! power capping disables parallel capacity (cores/turbo budget), so the
+//! effective utilization rises to `ρ = load / c(p)` while an individual
+//! request's service time stays what it was — the single-queue equivalent
+//! keeps the full-power service time and inflates the arrival intensity.
+//! This matches the paper's measurement (≈4× t95 at a 60 % cap) where a
+//! naive service-stretch M/M/1 would predict ≈9×.
+//!
+//! The calibration then makes simulation and model agree *exactly* in
+//! expectation: `queue_ms = ln(20) ·` (mean service time at full power),
+//! and the M/M/1 sojourn 95th percentile is `ln(20)·s/(1−ρ)`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::latency::LatencyModel;
+use crate::stats_percentile;
+
+/// Result of a request-level simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueOutcome {
+    /// Measured 95th-percentile response time, milliseconds.
+    pub t95_ms: f64,
+    /// Measured mean response time, milliseconds.
+    pub mean_ms: f64,
+    /// Offered utilization `ρ` of the (possibly throttled) server.
+    pub utilization: f64,
+    /// Number of simulated requests.
+    pub requests: usize,
+}
+
+/// Simulates `requests` requests through a power-capped M/M/1 server and
+/// measures response-time percentiles.
+///
+/// * `power_frac` — per-server power cap relative to peak;
+/// * `load_frac` — offered load relative to full-power capacity (the same
+///   normalization as [`LatencyModel`]).
+///
+/// # Panics
+///
+/// Panics if arguments are out of range or `requests` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use hbm_workload::latency::LatencyModel;
+/// use hbm_workload::queue::simulate;
+///
+/// let model = LatencyModel::web_service();
+/// let outcome = simulate(&model, 1.0, model.rated_load(), 20_000, 1);
+/// let analytic = model.t95_millis(1.0, model.rated_load());
+/// assert!((outcome.t95_ms - analytic).abs() / analytic < 0.15);
+/// ```
+pub fn simulate(
+    model: &LatencyModel,
+    power_frac: f64,
+    load_frac: f64,
+    requests: usize,
+    seed: u64,
+) -> QueueOutcome {
+    assert!(
+        (0.0..=1.0).contains(&power_frac),
+        "power fraction must be in [0, 1]"
+    );
+    assert!(load_frac >= 0.0, "load fraction must be non-negative");
+    assert!(requests > 0, "need at least one request");
+
+    let capacity = model.capacity_at(power_frac).max(1e-6);
+    // Mean service time at full power, from the model's calibration; the
+    // capacity cut shows up as inflated utilization, not slower requests.
+    let service_ms = model.queue_ms() / 20f64.ln();
+    // Arrival intensity of the single-queue equivalent (requests per ms):
+    // utilization ρ = load / c(p).
+    let arrival_rate = load_frac / (capacity * service_ms);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut exp = |mean: f64| -> f64 {
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    };
+
+    let mut clock = 0.0; // arrival clock, ms
+    let mut server_free_at = 0.0;
+    let mut sojourns = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        clock += exp(1.0 / arrival_rate);
+        let start = clock.max(server_free_at);
+        let departure = start + exp(service_ms);
+        server_free_at = departure;
+        // Response time is queueing + service + fixed base latency, capped
+        // at the client timeout (the model's ceiling).
+        sojourns.push((departure - clock + model.base_ms()).min(model.ceiling_ms()));
+    }
+
+    let mean_ms = sojourns.iter().sum::<f64>() / sojourns.len() as f64;
+    QueueOutcome {
+        t95_ms: stats_percentile(&sojourns, 95.0),
+        mean_ms,
+        utilization: arrival_rate * service_ms,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_analytic_model_at_full_power() {
+        let model = LatencyModel::web_service();
+        let o = simulate(&model, 1.0, model.rated_load(), 50_000, 7);
+        let analytic = model.t95_millis(1.0, model.rated_load());
+        assert!(
+            (o.t95_ms - analytic).abs() / analytic < 0.1,
+            "simulated {} vs analytic {analytic}",
+            o.t95_ms
+        );
+    }
+
+    #[test]
+    fn matches_analytic_model_under_the_emergency_cap() {
+        // The headline anchor: 60 % power cap ≈ 4× latency.
+        let model = LatencyModel::web_service();
+        let o = simulate(&model, 0.6, model.rated_load(), 50_000, 7);
+        let analytic = model.t95_millis(0.6, model.rated_load());
+        assert!(
+            (o.t95_ms - analytic).abs() / analytic < 0.15,
+            "simulated {} vs analytic {analytic}",
+            o.t95_ms
+        );
+    }
+
+    #[test]
+    fn utilization_matches_the_model_definition() {
+        let model = LatencyModel::web_service();
+        let o = simulate(&model, 0.6, 0.3, 10_000, 1);
+        let expected = 0.3 / model.capacity_at(0.6);
+        assert!((o.utilization - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overload_saturates_at_the_ceiling() {
+        let model = LatencyModel::web_service();
+        // ρ > 1: the queue grows without bound; the timeout cap binds.
+        let o = simulate(&model, 0.5, 0.9, 20_000, 3);
+        assert!(o.t95_ms >= model.ceiling_ms() * 0.99);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let model = LatencyModel::web_search();
+        let a = simulate(&model, 0.8, 0.4, 5_000, 11);
+        let b = simulate(&model, 0.8, 0.4, 5_000, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn web_search_also_tracks_its_model() {
+        let model = LatencyModel::web_search();
+        for (p, l) in [(1.0, 0.45), (0.7, 0.35)] {
+            let o = simulate(&model, p, l, 50_000, 5);
+            let analytic = model.t95_millis(p, l);
+            assert!(
+                (o.t95_ms - analytic).abs() / analytic < 0.15,
+                "({p},{l}): simulated {} vs analytic {analytic}",
+                o.t95_ms
+            );
+        }
+    }
+}

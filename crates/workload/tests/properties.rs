@@ -1,0 +1,117 @@
+//! Property-based tests of trace generation and the latency model.
+
+use hbm_units::{Duration, Power};
+use hbm_workload::{generate, latency::LatencyModel, PowerTrace, TraceConfig, TraceShape};
+use proptest::prelude::*;
+
+fn any_shape() -> impl Strategy<Value = TraceShape> {
+    prop_oneof![Just(TraceShape::FacebookBaidu), Just(TraceShape::Google)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_traces_hit_targets(
+        shape in any_shape(),
+        seed in 0u64..1000,
+        mean_kw in 3.0..6.5f64,
+    ) {
+        let config = TraceConfig {
+            shape,
+            seed,
+            slot: Duration::from_minutes(1.0),
+            len: 3 * 1440,
+            mean: Power::from_kilowatts(mean_kw),
+            peak: Power::from_kilowatts(7.2),
+        };
+        let t = generate(&config);
+        prop_assert_eq!(t.len(), 3 * 1440);
+        prop_assert!((t.mean().as_kilowatts() - mean_kw).abs() < 0.25);
+        prop_assert!((t.peak().as_kilowatts() - 7.2).abs() < 0.1);
+        prop_assert!(t.iter().all(|&p| p >= Power::ZERO));
+    }
+
+    #[test]
+    fn generation_is_deterministic(shape in any_shape(), seed in 0u64..1000) {
+        let config = TraceConfig {
+            shape,
+            seed,
+            slot: Duration::from_minutes(1.0),
+            len: 500,
+            mean: Power::from_kilowatts(5.0),
+            peak: Power::from_kilowatts(7.0),
+        };
+        prop_assert_eq!(generate(&config), generate(&config));
+    }
+
+    #[test]
+    fn rescale_preserves_ordering(
+        samples in prop::collection::vec(0.5..8.0f64, 2..200),
+        mean_kw in 2.0..5.0f64,
+    ) {
+        let trace = PowerTrace::new(
+            Duration::from_minutes(1.0),
+            samples.iter().map(|&k| Power::from_kilowatts(k)).collect(),
+        );
+        let scaled = trace.rescale(Power::from_kilowatts(mean_kw), Power::from_kilowatts(7.0));
+        // Weak monotonicity: the affine map preserves ordering except where
+        // the zero-clamp flattens values, so ≥ must survive as ≥.
+        for i in 1..samples.len() {
+            if trace.get(i) >= trace.get(i - 1) {
+                prop_assert!(
+                    scaled.get(i) >= scaled.get(i - 1),
+                    "rescale must weakly preserve ordering"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fraction_at_or_above_is_monotone(
+        samples in prop::collection::vec(0.0..8.0f64, 1..100),
+        t1 in 0.0..8.0f64,
+        dt in 0.0..4.0f64,
+    ) {
+        let trace = PowerTrace::new(
+            Duration::from_minutes(1.0),
+            samples.iter().map(|&k| Power::from_kilowatts(k)).collect(),
+        );
+        let f1 = trace.fraction_at_or_above(Power::from_kilowatts(t1));
+        let f2 = trace.fraction_at_or_above(Power::from_kilowatts(t1 + dt));
+        prop_assert!(f2 <= f1);
+        prop_assert!((0.0..=1.0).contains(&f1));
+    }
+
+    #[test]
+    fn latency_monotone_in_power_and_load(
+        p1 in 0.0..1.0f64,
+        dp in 0.0..0.5f64,
+        load in 0.05..0.6f64,
+        dload in 0.0..0.3f64,
+    ) {
+        for model in [LatencyModel::web_service(), LatencyModel::web_search()] {
+            let hi_power = (p1 + dp).min(1.0);
+            prop_assert!(
+                model.t95_millis(hi_power, load) <= model.t95_millis(p1, load) + 1e-9,
+                "more power must not hurt latency"
+            );
+            prop_assert!(
+                model.t95_millis(p1, load + dload) >= model.t95_millis(p1, load) - 1e-9,
+                "more load must not help latency"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_is_bounded(p in 0.0..=1.0f64, load in 0.0..2.0f64) {
+        for model in [LatencyModel::web_service(), LatencyModel::web_search()] {
+            let t = model.t95_millis(p, load);
+            prop_assert!(t.is_finite());
+            prop_assert!(t > 0.0);
+            prop_assert!(t <= 1500.0 + 1e-9);
+            let d = model.degradation(p, load);
+            prop_assert!(d >= 1.0 - 1e-9, "uncapped is the best case");
+        }
+    }
+}
