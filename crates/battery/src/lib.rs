@@ -152,9 +152,7 @@ impl std::fmt::Display for BatterySpecError {
         let msg = match self {
             BatterySpecError::NonPositiveCapacity => "battery capacity must be positive",
             BatterySpecError::NonPositiveChargeRate => "battery charge rate must be positive",
-            BatterySpecError::NonPositiveDischargeRate => {
-                "battery discharge rate must be positive"
-            }
+            BatterySpecError::NonPositiveDischargeRate => "battery discharge rate must be positive",
             BatterySpecError::EfficiencyOutOfRange => "battery efficiency must be within (0, 1]",
         };
         f.write_str(msg)

@@ -121,8 +121,7 @@ mod tests {
     use super::*;
 
     fn slope_wh_per_min(a: &UpsSample, b: &UpsSample) -> f64 {
-        (b.stored.as_watt_hours() - a.stored.as_watt_hours())
-            / (b.elapsed - a.elapsed).as_minutes()
+        (b.stored.as_watt_hours() - a.stored.as_watt_hours()) / (b.elapsed - a.elapsed).as_minutes()
     }
 
     #[test]

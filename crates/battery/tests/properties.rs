@@ -6,11 +6,11 @@ use proptest::prelude::*;
 
 fn arbitrary_spec() -> impl Strategy<Value = BatterySpec> {
     (
-        0.05..1.0f64,  // capacity kWh
-        0.05..0.5f64,  // charge kW
-        0.5..4.0f64,   // discharge kW
-        0.5..1.0f64,   // charge eff
-        0.5..1.0f64,   // discharge eff
+        0.05..1.0f64, // capacity kWh
+        0.05..0.5f64, // charge kW
+        0.5..4.0f64,  // discharge kW
+        0.5..1.0f64,  // charge eff
+        0.5..1.0f64,  // discharge eff
     )
         .prop_map(|(cap, chg, dis, ec, ed)| BatterySpec {
             capacity: Energy::from_kilowatt_hours(cap),

@@ -29,9 +29,8 @@ fn battery(c: &mut Criterion) {
         b.iter_batched(
             || {
                 BatteryBank::full(
-                    BatterySpec::paper_default().with_capacity(
-                        hbm_units::Energy::from_kilowatt_hours(0.05),
-                    ),
+                    BatterySpec::paper_default()
+                        .with_capacity(hbm_units::Energy::from_kilowatt_hours(0.05)),
                     4,
                 )
             },

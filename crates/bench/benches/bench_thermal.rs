@@ -4,7 +4,10 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use hbm_thermal::{extract_heat_matrix, CfdConfig, CfdModel, ZoneModel};
+use hbm_bench::nested::NestedCfdModel;
+use hbm_thermal::{
+    clear_heat_matrix_cache, extract_heat_matrix, CfdConfig, CfdModel, HeatMatrixModel, ZoneModel,
+};
 use hbm_units::{Duration, Power, Temperature};
 
 fn zone_model(c: &mut Criterion) {
@@ -53,24 +56,63 @@ fn cfd_model(c: &mut Criterion) {
         });
     });
 
+    // The pre-rewrite nested-Vec kernel, same work as above: this is the
+    // baseline the flat-buffer CfdModel is measured against.
+    c.bench_function("cfd_step_one_minute_40_servers_nested_baseline", |b| {
+        let config = CfdConfig::paper_default();
+        let mut cfd = NestedCfdModel::new(config);
+        let powers = vec![Power::from_watts(195.0); config.server_count()];
+        b.iter(|| {
+            cfd.step(black_box(&powers), Duration::from_minutes(1.0));
+            cfd.mean_inlet()
+        });
+    });
+
+    c.bench_function("heat_matrix_model_step_40_servers", |b| {
+        let config = CfdConfig::paper_default();
+        let n = config.server_count();
+        let baseline = vec![Power::from_watts(150.0); n];
+        let mut model = HeatMatrixModel::from_cfd(
+            &config,
+            &baseline,
+            Power::from_watts(300.0),
+            Duration::from_minutes(10.0),
+            Duration::from_minutes(1.0),
+        );
+        let mut excursion = baseline.clone();
+        excursion[3] = Power::from_watts(420.0);
+        b.iter(|| model.step(black_box(&excursion)));
+    });
+
     let mut group = c.benchmark_group("matrix");
     group.sample_size(10);
-    group.bench_function("heat_matrix_extraction_4_servers", |b| {
-        let config = CfdConfig {
-            racks: 1,
-            servers_per_rack: 4,
-            ..CfdConfig::paper_default()
-        };
-        let baseline = vec![Power::from_watts(150.0); 4];
-        b.iter(|| {
-            extract_heat_matrix(
-                black_box(&config),
-                &baseline,
-                Power::from_watts(120.0),
-                Duration::from_minutes(5.0),
-                Duration::from_minutes(1.0),
-            )
-        });
+    let small = CfdConfig {
+        racks: 1,
+        servers_per_rack: 4,
+        ..CfdConfig::paper_default()
+    };
+    let baseline = vec![Power::from_watts(150.0); 4];
+    let extract = |config: &CfdConfig| {
+        extract_heat_matrix(
+            black_box(config),
+            &baseline,
+            Power::from_watts(120.0),
+            Duration::from_minutes(5.0),
+            Duration::from_minutes(1.0),
+        )
+    };
+    group.bench_function("heat_matrix_extraction_4_servers_cold", |b| {
+        // Clearing per iteration keeps this measuring the actual CFD
+        // spike-response extraction, not the memoized lookup.
+        b.iter_batched(
+            clear_heat_matrix_cache,
+            |()| extract(&small),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("heat_matrix_extraction_4_servers_cached", |b| {
+        let _ = extract(&small); // prime the cache
+        b.iter(|| extract(&small));
     });
     group.finish();
 }

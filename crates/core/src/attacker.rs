@@ -98,7 +98,10 @@ pub struct Transition {
 /// The simulator calls [`AttackPolicy::decide`] once per slot and
 /// [`AttackPolicy::learn`] after the slot's outcome is known. Non-learning
 /// policies keep the default no-op `learn`.
-pub trait AttackPolicy: std::any::Any {
+///
+/// `Send` is a supertrait so boxed policies can move into the worker
+/// threads of the parallel experiment harness.
+pub trait AttackPolicy: std::any::Any + Send {
     /// Short policy name for reports ("random", "myopic", …).
     fn name(&self) -> &str;
 
@@ -167,7 +170,6 @@ impl AttackPolicy for RandomPolicy {
         self
     }
 
-
     fn decide(&mut self, obs: &Observation) -> AttackAction {
         if obs.capping {
             return AttackAction::Standby;
@@ -233,7 +235,6 @@ impl AttackPolicy for MyopicPolicy {
         self
     }
 
-
     fn decide(&mut self, obs: &Observation) -> AttackAction {
         if obs.capping {
             return AttackAction::Standby;
@@ -290,7 +291,6 @@ impl AttackPolicy for OneShotPolicy {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
-
 
     fn decide(&mut self, obs: &Observation) -> AttackAction {
         if self.triggered {
@@ -351,12 +351,8 @@ impl Learner {
         F: Fn(usize, usize) -> usize,
     {
         match self {
-            Learner::Batch(agent) => {
-                agent.update(s, a, reward, s_next, allowed_next, post, delta)
-            }
-            Learner::Standard(agent) => {
-                agent.update(s, a, reward, s_next, allowed_next, delta)
-            }
+            Learner::Batch(agent) => agent.update(s, a, reward, s_next, allowed_next, post, delta),
+            Learner::Standard(agent) => agent.update(s, a, reward, s_next, allowed_next, delta),
         }
     }
 }
@@ -534,8 +530,7 @@ impl ForesightedPolicy {
     /// Replaces the learning rule with classic Q-learning (the ablation
     /// baseline of the paper's batch variant); tables restart from zero.
     pub fn with_standard_q(mut self) -> Self {
-        let states =
-            self.battery_grid.len() * self.load_grid.len() * self.temp_grid.len();
+        let states = self.battery_grid.len() * self.load_grid.len() * self.temp_grid.len();
         self.agent = Learner::Standard(QLearning::new(states, AttackAction::COUNT, 0.99));
         self
     }
@@ -618,7 +613,11 @@ impl ForesightedPolicy {
     /// Eqn. 2 reward.
     fn reward(&self, inlet: Temperature, action: AttackAction) -> f64 {
         let dt = (inlet - self.setpoint).positive_part().as_celsius();
-        let beta = if action == AttackAction::Attack { 1.0 } else { 0.0 };
+        let beta = if action == AttackAction::Attack {
+            1.0
+        } else {
+            0.0
+        };
         self.w * dt - beta
     }
 
@@ -700,7 +699,6 @@ impl AttackPolicy for ForesightedPolicy {
         self
     }
 
-
     fn decide(&mut self, obs: &Observation) -> AttackAction {
         if obs.capping {
             // Emergency declared: this attack achieved its goal. Comply,
@@ -714,14 +712,13 @@ impl AttackPolicy for ForesightedPolicy {
         let stored_ok = can_attack(obs.battery_stored, self.attack_load, self.slot);
 
         // Campaign execution (Fig. 9's cycle).
-        let load_collapsed = |launch_est: Power| {
-            obs.estimated_total < launch_est - Power::from_kilowatts(0.4)
-        };
+        let load_collapsed =
+            |launch_est: Power| obs.estimated_total < launch_est - Power::from_kilowatts(0.4);
         // The attacker knows the colocation capacity (its contract) and its
         // own attack load: attacking is pointless once the estimated
         // cooling overload is marginal.
-        let ineffective = obs.estimated_total + self.attack_load
-            < self.capacity + Power::from_kilowatts(0.25);
+        let ineffective =
+            obs.estimated_total + self.attack_load < self.capacity + Power::from_kilowatts(0.25);
         match self.campaign {
             Campaign::Attacking { launch_est } => {
                 if load_collapsed(launch_est) || ineffective {
@@ -823,8 +820,15 @@ impl AttackPolicy for ForesightedPolicy {
         let post = move |s: usize, a: usize| {
             post_state_impl(s, a, charge, attack, battery_grid, load_bins, temp_bins)
         };
-        self.agent
-            .update(s, t.action.index(), reward, s_next, &allowed_next, post, delta);
+        self.agent.update(
+            s,
+            t.action.index(),
+            reward,
+            s_next,
+            &allowed_next,
+            post,
+            delta,
+        );
     }
 }
 

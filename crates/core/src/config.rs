@@ -119,7 +119,8 @@ impl ColoConfig {
     /// The emergency cap as a fraction of benign server peak (0.6 at
     /// defaults), which is the power axis of the latency model.
     pub fn emergency_cap_fraction(&self) -> f64 {
-        self.benign_server.cap_fraction(self.protocol.cap_per_server)
+        self.benign_server
+            .cap_fraction(self.protocol.cap_per_server)
     }
 
     /// Returns a copy with a different battery capacity (Fig. 12a).
@@ -211,15 +212,15 @@ impl ColoConfig {
     /// Table I as printable `(parameter, value)` rows.
     pub fn table_one(&self) -> Vec<(String, String)> {
         vec![
-            (
-                "Data Center Capacity".into(),
-                format!("{}", self.capacity),
-            ),
+            ("Data Center Capacity".into(), format!("{}", self.capacity)),
             (
                 "Number of Tenants".into(),
                 format!("{}", self.benign_tenants + 1),
             ),
-            ("Number of Servers".into(), format!("{}", self.server_count())),
+            (
+                "Number of Servers".into(),
+                format!("{}", self.server_count()),
+            ),
             ("Number of Server Racks".into(), "2".into()),
             (
                 "Attacker's Capacity (c_a)".into(),
@@ -282,9 +283,7 @@ mod tests {
         assert_eq!(c.benign_emergency_cap(), Power::from_kilowatts(4.32));
         assert_eq!(c.attacker_emergency_cap(), Power::from_watts(480.0));
         assert!((c.emergency_cap_fraction() - 0.6).abs() < 1e-12);
-        assert!(
-            (c.attack_energy_per_slot().as_kilowatt_hours() - 1.0 / 60.0).abs() < 1e-12
-        );
+        assert!((c.attack_energy_per_slot().as_kilowatt_hours() - 1.0 / 60.0).abs() < 1e-12);
     }
 
     #[test]

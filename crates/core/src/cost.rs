@@ -97,12 +97,7 @@ mod tests {
     fn attacker_fixed_costs_match_paper_arithmetic() {
         let model = CostModel::paper_default();
         let metrics = Metrics::new(Duration::from_minutes(1.0));
-        let report = model.yearly_report(
-            &metrics,
-            Power::from_kilowatts(0.8),
-            4,
-            Energy::ZERO,
-        );
+        let report = model.yearly_report(&metrics, Power::from_kilowatts(0.8), 4, Energy::ZERO);
         // 0.8 kW × 150 $/kW/mo × 12 = 1 440 $/yr.
         assert!((report.attacker_subscription - 1_440.0).abs() < 1e-9);
         // 4 × 4 500 $ / 4 yr = 4 500 $/yr.

@@ -41,8 +41,8 @@
 
 mod attacker;
 mod config;
-mod fleet;
 mod cost;
+mod fleet;
 mod metrics;
 mod sim;
 
@@ -51,7 +51,7 @@ pub use attacker::{
     OneShotPolicy, RandomPolicy, Transition,
 };
 pub use config::ColoConfig;
-pub use fleet::{coordinated_one_shot, Fleet, FleetReport};
 pub use cost::{CostModel, CostReport};
+pub use fleet::{coordinated_one_shot, Fleet, FleetReport};
 pub use metrics::Metrics;
 pub use sim::{SimReport, Simulation, SlotRecord};

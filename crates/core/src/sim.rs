@@ -289,8 +289,7 @@ impl Simulation {
                 (metered, metered + delivered, delivered)
             }
             AttackAction::Charge => {
-                let headroom = (attacker_metered_limit - self.config.standby_power)
-                    .positive_part();
+                let headroom = (attacker_metered_limit - self.config.standby_power).positive_part();
                 let drawn = self
                     .battery
                     .charge(self.config.battery.max_charge_rate.min(headroom), slot);
@@ -339,8 +338,7 @@ impl Simulation {
             self.metrics.attack_slots += 1;
             self.metrics.attack_energy += battery_attack * slot;
         }
-        self.metrics.delta_t_sum +=
-            (inlet - self.config.cooling.supply).positive_part();
+        self.metrics.delta_t_sum += (inlet - self.config.cooling.supply).positive_part();
         self.metrics.inlet_histogram.add(inlet.as_celsius());
         self.metrics.attacker_metered_energy += attacker_metered * slot;
         self.metrics.attacker_actual_energy += attacker_actual * slot;
@@ -371,7 +369,9 @@ impl Simulation {
     }
 
     fn slots_per_day(&self) -> u64 {
-        (Duration::from_days(1.0) / self.config.slot).round().max(1.0) as u64
+        (Duration::from_days(1.0) / self.config.slot)
+            .round()
+            .max(1.0) as u64
     }
 }
 
@@ -464,7 +464,10 @@ mod tests {
         let min_soc = records.iter().map(|r| r.battery_soc).fold(1.0, f64::min);
         let last_soc = records.last().unwrap().battery_soc;
         assert!(min_soc < 0.9, "battery must actually discharge");
-        assert!(last_soc > min_soc - 1e-9, "battery must recharge afterwards");
+        assert!(
+            last_soc > min_soc - 1e-9,
+            "battery must recharge afterwards"
+        );
     }
 
     #[test]
@@ -472,12 +475,7 @@ mod tests {
         // Fig. 9 / Fig. 11c: Random (8 % attack probability) spreads its
         // battery budget over mostly-low-load slots.
         let config = short_config();
-        let policy = RandomPolicy::new(
-            0.08,
-            config.attack_load,
-            config.slot,
-            11,
-        );
+        let policy = RandomPolicy::new(0.08, config.attack_load, config.slot, 11);
         let mut sim = Simulation::new(config, Box::new(policy), 1);
         let report = sim.run(7 * 1440);
         assert!(report.metrics.attack_slots > 0);

@@ -39,7 +39,10 @@ impl MoveInInspection {
     ///
     /// Panics if either probability is outside `[0, 1]`.
     pub fn new(coverage: f64, recognition: f64) -> Self {
-        assert!((0.0..=1.0).contains(&coverage), "coverage must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&coverage),
+            "coverage must be in [0, 1]"
+        );
         assert!(
             (0.0..=1.0).contains(&recognition),
             "recognition must be in [0, 1]"
@@ -129,8 +132,7 @@ mod tests {
 
     #[test]
     fn jamming_scales_with_averaging() {
-        let per_sample =
-            jamming_noise_for_accuracy(Power::from_kilowatts(0.4), 64);
+        let per_sample = jamming_noise_for_accuracy(Power::from_kilowatts(0.4), 64);
         assert!((per_sample.as_kilowatts() - 3.2).abs() < 1e-12);
     }
 

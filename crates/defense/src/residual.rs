@@ -60,11 +60,7 @@ impl ThermalResidualDetector {
     /// # Panics
     ///
     /// Panics if `threshold` is non-positive or `required_consecutive` is 0.
-    pub fn new(
-        twin: ZoneModel,
-        threshold: TemperatureDelta,
-        required_consecutive: u32,
-    ) -> Self {
+    pub fn new(twin: ZoneModel, threshold: TemperatureDelta, required_consecutive: u32) -> Self {
         assert!(
             threshold > TemperatureDelta::ZERO,
             "threshold must be positive"
@@ -193,10 +189,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "threshold must be positive")]
     fn rejects_bad_threshold() {
-        let _ = ThermalResidualDetector::new(
-            ZoneModel::paper_default(),
-            TemperatureDelta::ZERO,
-            3,
-        );
+        let _ = ThermalResidualDetector::new(ZoneModel::paper_default(), TemperatureDelta::ZERO, 3);
     }
 }

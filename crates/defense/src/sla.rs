@@ -79,8 +79,7 @@ impl SlaMonitor {
             self.emergencies += 1;
         }
         let x = if in_emergency { 1.0 } else { 0.0 };
-        self.statistic =
-            (self.statistic + x - self.baseline_rate - self.slack).max(0.0);
+        self.statistic = (self.statistic + x - self.baseline_rate - self.slack).max(0.0);
         if self.statistic >= self.alarm_level {
             self.statistic = 0.0;
             self.alarms += 1;

@@ -22,6 +22,9 @@ pub struct Options {
     pub seed: u64,
     /// Output directory for CSV files.
     pub out_dir: PathBuf,
+    /// Worker threads for the experiment harness (1 = serial,
+    /// 0 = one per available core).
+    pub jobs: usize,
 }
 
 impl Default for Options {
@@ -31,6 +34,7 @@ impl Default for Options {
             warmup_days: 180,
             seed: 1,
             out_dir: PathBuf::from("results"),
+            jobs: 1,
         }
     }
 }
@@ -65,6 +69,16 @@ impl Options {
                         .map_err(|e| format!("--seed: {e}"))?
                 }
                 "--out" => opts.out_dir = PathBuf::from(take("--out")?),
+                "--jobs" => {
+                    opts.jobs = take("--jobs")?
+                        .parse()
+                        .map_err(|e| format!("--jobs: {e}"))?;
+                    if opts.jobs == 0 {
+                        opts.jobs = std::thread::available_parallelism()
+                            .map(|n| n.get())
+                            .unwrap_or(1);
+                    }
+                }
                 other => rest.push(other.to_string()),
             }
         }
@@ -82,10 +96,53 @@ impl Options {
     }
 }
 
+/// Buffered console output of one experiment.
+///
+/// Runners write here instead of stdout so experiments running on worker
+/// threads don't interleave their tables; the driver flushes each buffer
+/// whole, in submission order. CSV files are still written immediately
+/// (each experiment owns its own files, so parallel runs don't conflict).
+#[derive(Debug, Default)]
+pub struct Sink {
+    lines: Vec<String>,
+}
+
+impl Sink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Sink::default()
+    }
+
+    /// Appends one output line.
+    pub fn line(&mut self, line: impl Into<String>) {
+        self.lines.push(line.into());
+    }
+
+    /// Writes the buffered lines to stdout and clears the buffer.
+    pub fn flush_to_stdout(&mut self) {
+        use std::io::Write;
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for line in self.lines.drain(..) {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+}
+
+/// `println!` into a [`Sink`]: `outln!(out, "fmt {}", x)` or `outln!(out)`.
+#[macro_export]
+macro_rules! outln {
+    ($sink:expr) => { $sink.line(String::new()) };
+    ($sink:expr, $($fmt:tt)*) => { $sink.line(format!($($fmt)*)) };
+}
+
 /// Writes rows as CSV into `<out>/<name>.csv` and echoes where it went.
-pub fn write_csv(opts: &Options, name: &str, header: &str, rows: &[String]) {
+pub fn write_csv(opts: &Options, out: &mut Sink, name: &str, header: &str, rows: &[String]) {
     if let Err(e) = fs::create_dir_all(&opts.out_dir) {
-        eprintln!("warning: cannot create {}: {e}", opts.out_dir.display());
+        out.line(format!(
+            "warning: cannot create {}: {e}",
+            opts.out_dir.display()
+        ));
         return;
     }
     let path = opts.out_dir.join(format!("{name}.csv"));
@@ -95,15 +152,16 @@ pub fn write_csv(opts: &Options, name: &str, header: &str, rows: &[String]) {
             for r in rows {
                 let _ = writeln!(f, "{r}");
             }
-            println!("  [csv] {}", path.display());
+            out.line(format!("  [csv] {}", path.display()));
         }
-        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        Err(e) => out.line(format!("warning: cannot write {}: {e}", path.display())),
     }
 }
 
 /// Prints a section heading.
-pub fn heading(title: &str) {
-    println!("\n=== {title} ===");
+pub fn heading(out: &mut Sink, title: &str) {
+    out.line(String::new());
+    out.line(format!("=== {title} ==="));
 }
 
 /// Builds and runs a simulation, warming up learning policies first.
@@ -121,7 +179,10 @@ pub fn run_policy(
 }
 
 /// The canonical trio of repeated-attack policies at their default settings.
-pub fn default_policies(config: &ColoConfig, opts: &Options) -> Vec<(String, Box<dyn AttackPolicy>, bool)> {
+pub fn default_policies(
+    config: &ColoConfig,
+    opts: &Options,
+) -> Vec<(String, Box<dyn AttackPolicy>, bool)> {
     vec![
         (
             "random".into(),

@@ -9,11 +9,12 @@ use hbm_core::{
 use hbm_units::Power;
 use hbm_workload::TraceShape;
 
-use crate::common::{heading, run_policy, summary_line, write_csv, Options};
+use crate::common::{heading, run_policy, summary_line, write_csv, Options, Sink};
+use crate::outln;
 
 /// Fig. 8: one-shot attack demonstration (30-minute window).
-pub fn fig8(opts: &Options) {
-    heading("Fig. 8 — one-shot attack demonstration");
+pub fn fig8(opts: &Options, out: &mut Sink) {
+    heading(out, "Fig. 8 — one-shot attack demonstration");
     let mut config = ColoConfig::paper_default();
     config.battery = BatterySpec::one_shot();
     config.attack_load = Power::from_kilowatts(3.0);
@@ -30,7 +31,8 @@ pub fn fig8(opts: &Options) {
     for (i, r) in window.iter().enumerate() {
         rows.push(record_row(i, r));
         if i % 2 == 0 {
-            println!(
+            outln!(
+                out,
                 "  t={i:2} min  metered {:5.2} kW  actual {:5.2} kW  inlet {:6.2} °C{}{}",
                 r.metered_total.as_kilowatts(),
                 r.actual_total.as_kilowatts(),
@@ -40,21 +42,30 @@ pub fn fig8(opts: &Options) {
             );
         }
     }
-    println!(
+    outln!(
+        out,
         "  outages: {} (paper: inlet passes 45 °C despite capping)",
         report.metrics.outage_events
     );
-    write_csv(opts, "fig8", RECORD_HEADER, &rows);
+    write_csv(opts, out, "fig8", RECORD_HEADER, &rows);
 }
 
 /// Fig. 9: 4-hour snapshot of repeated attacks under the three policies.
-pub fn fig9(opts: &Options) {
-    heading("Fig. 9 — 4 h snapshot of repeated attacks (3 policies)");
+pub fn fig9(opts: &Options, out: &mut Sink) {
+    heading(
+        out,
+        "Fig. 9 — 4 h snapshot of repeated attacks (3 policies)",
+    );
     let config = ColoConfig::paper_default();
     let policies: Vec<(&str, Box<dyn AttackPolicy>, bool)> = vec![
         (
             "random",
-            Box::new(RandomPolicy::new(0.08, config.attack_load, config.slot, opts.seed)),
+            Box::new(RandomPolicy::new(
+                0.08,
+                config.attack_load,
+                config.slot,
+                opts.seed,
+            )),
             false,
         ),
         (
@@ -68,7 +79,9 @@ pub fn fig9(opts: &Options) {
             true,
         ),
     ];
-    for (name, policy, warmup) in policies {
+    // The three policy runs are independent simulations; run them on the
+    // worker pool and emit their tables in policy order afterwards.
+    let results = hbm_par::par_map(policies, |(name, policy, warmup)| {
         let mut sim = Simulation::new(config.clone(), policy, opts.seed);
         if warmup {
             sim.warmup(opts.warmup_slots());
@@ -94,14 +107,27 @@ pub fn fig9(opts: &Options) {
             .enumerate()
             .map(|(i, r)| record_row(i, r))
             .collect();
-        let attacks = records.iter().filter(|r| r.attack_load > Power::ZERO).count();
-        let emergencies = records.windows(2).filter(|w| w[1].capping && !w[0].capping).count();
-        println!(
+        let attacks = records
+            .iter()
+            .filter(|r| r.attack_load > Power::ZERO)
+            .count();
+        let emergencies = records
+            .windows(2)
+            .filter(|w| w[1].capping && !w[0].capping)
+            .count();
+        (name, attacks, emergencies, rows)
+    });
+    for (name, attacks, emergencies, rows) in results {
+        outln!(
+            out,
             "  {name:12} attack slots {attacks:3}/240, emergencies in window: {emergencies}"
         );
-        write_csv(opts, &format!("fig9_{name}"), RECORD_HEADER, &rows);
+        write_csv(opts, out, &format!("fig9_{name}"), RECORD_HEADER, &rows);
     }
-    println!("  (metered vs actual traces in the CSVs show the behind-the-meter gap)");
+    outln!(
+        out,
+        "  (metered vs actual traces in the CSVs show the behind-the-meter gap)"
+    );
 }
 
 const RECORD_HEADER: &str =
@@ -123,10 +149,14 @@ fn record_row(i: usize, r: &SlotRecord) -> String {
 }
 
 /// Fig. 10: the attack policy learnt by Foresighted for two weights.
-pub fn fig10(opts: &Options) {
-    heading("Fig. 10 — learnt Foresighted policy structure (w = 9 and w = 14)");
+pub fn fig10(opts: &Options, out: &mut Sink) {
+    heading(
+        out,
+        "Fig. 10 — learnt Foresighted policy structure (w = 9 and w = 14)",
+    );
     let config = ColoConfig::paper_default();
-    for w in [9.0, 14.0] {
+    // The two weights learn independently; train them in parallel.
+    let results = hbm_par::par_map(vec![9.0, 14.0], |w| {
         let policy = ForesightedPolicy::paper_default(w, opts.seed);
         let mut sim = Simulation::new(config.clone(), Box::new(policy), opts.seed);
         sim.warmup(opts.warmup_slots());
@@ -137,12 +167,15 @@ pub fn fig10(opts: &Options) {
             .expect("foresighted policy");
         let matrix = p.policy_matrix();
         let loads = p.load_bin_centers_kw();
-        println!("  w = {w}: (columns = estimated load bins, rows = battery level high→low)");
-        print!("        ");
+        let mut lines = Vec::new();
+        lines.push(format!(
+            "  w = {w}: (columns = estimated load bins, rows = battery level high→low)"
+        ));
+        let mut header = String::from("        ");
         for l in loads.iter().step_by(2) {
-            print!("{l:5.1} ");
+            header.push_str(&format!("{l:5.1} "));
         }
-        println!();
+        lines.push(header);
         let mut rows = Vec::new();
         for (b, row) in matrix.iter().enumerate().rev() {
             let soc = p.battery_bin_centers()[b];
@@ -154,32 +187,74 @@ pub fn fig10(opts: &Options) {
                     AttackAction::Standby => '.',
                 })
                 .collect();
-            println!("  b={soc:4.2}  {line}");
+            lines.push(format!("  b={soc:4.2}  {line}"));
             for (u, a) in row.iter().enumerate() {
                 rows.push(format!("{w},{soc:.2},{:.2},{a}", loads[u]));
             }
         }
+        (w, lines, rows)
+    });
+    for (w, lines, rows) in results {
+        for line in lines {
+            out.line(line);
+        }
         write_csv(
             opts,
+            out,
             &format!("fig10_w{}", w as u32),
             "w,battery_soc,load_kw,action",
             &rows,
         );
     }
-    println!("  structural property: attack (A) concentrates where both battery and load are high");
+    outln!(
+        out,
+        "  structural property: attack (A) concentrates where both battery and load are high"
+    );
 }
 
 /// Figs. 11b and 11c: average ΔT and attack-induced emergency time versus
 /// daily attack time, for all three policies.
-pub fn fig11bc(opts: &Options) {
-    heading("Figs. 11b/11c — ΔT and emergency time vs daily attack time");
+pub fn fig11bc(opts: &Options, out: &mut Sink) {
+    heading(
+        out,
+        "Figs. 11b/11c — ΔT and emergency time vs daily attack time",
+    );
     let config = ColoConfig::paper_default();
     let mut rows = Vec::new();
 
-    println!("  policy        knob        attack h/day   avg dT (K)   emergency %");
-    let mut emit = |policy: &str, knob: String, report: &hbm_core::SimReport| {
+    outln!(
+        out,
+        "  policy        knob        attack h/day   avg dT (K)   emergency %"
+    );
+
+    // All 18 policy/knob combinations are independent year-long runs — the
+    // heaviest sweep in the harness, and the flattest to parallelize.
+    let mut jobs: Vec<(&str, String, Box<dyn AttackPolicy>, bool)> = Vec::new();
+    for p in [0.0, 0.03, 0.08, 0.15] {
+        let policy = RandomPolicy::new(p, config.attack_load, config.slot, opts.seed);
+        jobs.push(("random", format!("p={p}"), Box::new(policy), false));
+    }
+    for threshold in [8.0, 7.8, 7.6, 7.4, 7.2, 7.0, 6.5] {
+        let policy = MyopicPolicy::new(Power::from_kilowatts(threshold));
+        jobs.push((
+            "myopic",
+            format!("thr={threshold}"),
+            Box::new(policy),
+            false,
+        ));
+    }
+    for w in [0.0, 2.0, 5.0, 9.0, 14.0, 22.0, 30.0] {
+        let policy = ForesightedPolicy::paper_default(w, opts.seed);
+        jobs.push(("foresighted", format!("w={w}"), Box::new(policy), true));
+    }
+    let reports = hbm_par::par_map(jobs, |(policy_name, knob, policy, warmup)| {
+        let report = run_policy(&config, policy, opts, warmup);
+        (policy_name, knob, report)
+    });
+    for (policy, knob, report) in reports {
         let m = &report.metrics;
-        println!(
+        outln!(
+            out,
             "  {policy:12} {knob:>10}   {:10.2}   {:9.3}   {:9.3}",
             m.attack_hours_per_day(),
             m.avg_delta_t().as_celsius(),
@@ -191,25 +266,10 @@ pub fn fig11bc(opts: &Options) {
             m.avg_delta_t().as_celsius(),
             100.0 * m.emergency_fraction()
         ));
-    };
-
-    for p in [0.0, 0.03, 0.08, 0.15] {
-        let policy = RandomPolicy::new(p, config.attack_load, config.slot, opts.seed);
-        let report = run_policy(&config, Box::new(policy), opts, false);
-        emit("random", format!("p={p}"), &report);
-    }
-    for threshold in [8.0, 7.8, 7.6, 7.4, 7.2, 7.0, 6.5] {
-        let policy = MyopicPolicy::new(Power::from_kilowatts(threshold));
-        let report = run_policy(&config, Box::new(policy), opts, false);
-        emit("myopic", format!("thr={threshold}"), &report);
-    }
-    for w in [0.0, 2.0, 5.0, 9.0, 14.0, 22.0, 30.0] {
-        let policy = ForesightedPolicy::paper_default(w, opts.seed);
-        let report = run_policy(&config, Box::new(policy), opts, true);
-        emit("foresighted", format!("w={w}"), &report);
     }
     write_csv(
         opts,
+        out,
         "fig11bc",
         "policy,knob,attack_h_per_day,avg_dt_k,emergency_pct",
         &rows,
@@ -217,37 +277,58 @@ pub fn fig11bc(opts: &Options) {
 }
 
 /// Fig. 11d: normalized 95th-percentile response time during emergencies.
-pub fn fig11d(opts: &Options) {
-    heading("Fig. 11d — tenants' normalized 95p response time during emergencies");
+pub fn fig11d(opts: &Options, out: &mut Sink) {
+    heading(
+        out,
+        "Fig. 11d — tenants' normalized 95p response time during emergencies",
+    );
     let config = ColoConfig::paper_default();
-    run_degradation(opts, &config, "fig11d");
+    run_degradation(opts, out, &config, "fig11d");
 }
 
 /// Fig. 13b: same metric under the alternate (google) trace.
-pub fn fig13b(opts: &Options) {
-    heading("Fig. 13b — tenant performance during emergencies (alternate trace)");
+pub fn fig13b(opts: &Options, out: &mut Sink) {
+    heading(
+        out,
+        "Fig. 13b — tenant performance during emergencies (alternate trace)",
+    );
     let mut config = ColoConfig::paper_default();
     config.trace.shape = TraceShape::Google;
-    run_degradation(opts, &config, "fig13b");
+    run_degradation(opts, out, &config, "fig13b");
 }
 
-fn run_degradation(opts: &Options, config: &ColoConfig, name: &str) {
+fn run_degradation(opts: &Options, out: &mut Sink, config: &ColoConfig, name: &str) {
     let mut rows = Vec::new();
-    for (pname, policy, warmup) in crate::common::default_policies(config, opts) {
-        let report = run_policy(config, policy, opts, warmup);
-        println!("  {}", summary_line(&pname, &report.metrics));
+    let reports = hbm_par::par_map(
+        crate::common::default_policies(config, opts),
+        |(pname, policy, warmup)| {
+            let report = run_policy(config, policy, opts, warmup);
+            (pname, report)
+        },
+    );
+    for (pname, report) in reports {
+        outln!(out, "  {}", summary_line(&pname, &report.metrics));
         rows.push(format!(
             "{pname},{:.4},{:.4}",
             report.metrics.mean_emergency_degradation(),
             100.0 * report.metrics.emergency_fraction()
         ));
     }
-    write_csv(opts, name, "policy,mean_degradation,emergency_pct", &rows);
+    write_csv(
+        opts,
+        out,
+        name,
+        "policy,mean_degradation,emergency_pct",
+        &rows,
+    );
 }
 
 /// §VI-C: yearly cost estimate for attacker and benign tenants.
-pub fn cost(opts: &Options) {
-    heading("Section VI-C — cost estimate (defaults, Foresighted w=14)");
+pub fn cost(opts: &Options, out: &mut Sink) {
+    heading(
+        out,
+        "Section VI-C — cost estimate (defaults, Foresighted w=14)",
+    );
     let config = ColoConfig::paper_default();
     let policy = ForesightedPolicy::paper_default(14.0, opts.seed);
     let report = run_policy(&config, Box::new(policy), opts, true);
@@ -258,13 +339,34 @@ pub fn cost(opts: &Options) {
         config.attacker_servers,
         report.metrics.attacker_metered_energy,
     );
-    println!("  attacker  subscription  ${:>10.0}/yr", costs.attacker_subscription);
-    println!("  attacker  electricity   ${:>10.0}/yr", costs.attacker_energy);
-    println!("  attacker  servers       ${:>10.0}/yr (amortized)", costs.attacker_servers);
-    println!("  attacker  TOTAL         ${:>10.0}/yr", costs.attacker_total());
-    println!("  victims   performance   ${:>10.0}/yr (paper ballpark: $60K+)", costs.victim_performance);
+    outln!(
+        out,
+        "  attacker  subscription  ${:>10.0}/yr",
+        costs.attacker_subscription
+    );
+    outln!(
+        out,
+        "  attacker  electricity   ${:>10.0}/yr",
+        costs.attacker_energy
+    );
+    outln!(
+        out,
+        "  attacker  servers       ${:>10.0}/yr (amortized)",
+        costs.attacker_servers
+    );
+    outln!(
+        out,
+        "  attacker  TOTAL         ${:>10.0}/yr",
+        costs.attacker_total()
+    );
+    outln!(
+        out,
+        "  victims   performance   ${:>10.0}/yr (paper ballpark: $60K+)",
+        costs.victim_performance
+    );
     write_csv(
         opts,
+        out,
         "cost",
         "item,usd_per_year",
         &[

@@ -8,17 +8,22 @@ use hbm_defense::{
 use hbm_thermal::ZoneModel;
 use hbm_units::{Power, TemperatureDelta};
 
-use crate::common::{heading, write_csv, Options};
+use crate::common::{heading, write_csv, Options, Sink};
+use crate::outln;
 
 /// Evaluates the Section VII defenses against a Foresighted campaign.
-pub fn defense(opts: &Options) {
-    heading("Section VII — defense evaluation against a Foresighted campaign");
+pub fn defense(opts: &Options, out: &mut Sink) {
+    heading(
+        out,
+        "Section VII — defense evaluation against a Foresighted campaign",
+    );
     let config = ColoConfig::paper_default();
     let policy = ForesightedPolicy::paper_default(14.0, opts.seed);
     let mut sim = Simulation::new(config.clone(), Box::new(policy), opts.seed);
     sim.warmup(opts.warmup_slots());
     let (report, records) = sim.run_recorded(opts.slots().min(60 * 1440));
-    println!(
+    outln!(
+        out,
         "  campaign under test: {:.3} % emergency time, {} emergencies",
         100.0 * report.metrics.emergency_fraction(),
         report.metrics.emergency_events
@@ -63,7 +68,7 @@ pub fn defense(opts: &Options) {
     } else {
         latencies.iter().sum::<f64>() / latencies.len() as f64
     };
-    println!(
+    outln!(out,
         "  residual detector: {detected_runs}/{attack_runs} sustained attack runs flagged, mean latency {mean_latency:.1} min, total alarms {}",
         detector.alarm_count()
     );
@@ -88,13 +93,14 @@ pub fn defense(opts: &Options) {
             ));
         }
         for _ in 0..config.attacker_servers {
-            let actual = (config.attacker_capacity + r.attack_load)
-                / config.attacker_servers as f64;
+            let actual =
+                (config.attacker_capacity + r.attack_load) / config.attacker_servers as f64;
             let metered = config.attacker_capacity / config.attacker_servers as f64;
             readings.push(hbm_defense::reading_for(actual, metered, r.inlet, airflow));
         }
         let flagged = calorimeter.flag_servers(&readings);
-        println!(
+        outln!(
+            out,
             "  calorimetry: flagged servers {:?} (expected: the 4 attacker servers, indices 36–39)",
             flagged
         );
@@ -109,17 +115,21 @@ pub fn defense(opts: &Options) {
         }
     }
     match first_alarm {
-        Some(i) => println!(
+        Some(i) => outln!(
+            out,
             "  SLA monitor: first alarm after {:.1} days (observed rate {:.3} %)",
             i as f64 / 1440.0,
             100.0 * monitor.observed_rate()
         ),
-        None => println!("  SLA monitor: no alarm (campaign hides under the SLA)"),
+        None => outln!(
+            out,
+            "  SLA monitor: no alarm (campaign hides under the SLA)"
+        ),
     }
 
     // --- Prevention. ---
     let inspection = MoveInInspection::new(0.8, 0.95);
-    println!(
+    outln!(out,
         "  move-in inspection (80 % coverage, 95 % recognition): P(catch ≥1 of 4 batteries) = {:.1} %",
         100.0 * inspection.detection_probability(config.attacker_servers)
     );
@@ -127,13 +137,14 @@ pub fn defense(opts: &Options) {
         Power::from_kilowatts(0.6),
         config.side_channel.samples_per_estimate,
     );
-    println!(
+    outln!(out,
         "  jamming: {:.1} kW-equivalent per-sample noise degrades the channel to ±0.6 kW (see Fig. 12b for the impact)",
         jam.as_kilowatts()
     );
 
     write_csv(
         opts,
+        out,
         "defense",
         "metric,value",
         &[
@@ -142,7 +153,9 @@ pub fn defense(opts: &Options) {
             format!("mean_detection_latency_min,{mean_latency:.2}"),
             format!(
                 "sla_first_alarm_days,{}",
-                first_alarm.map(|i| format!("{:.2}", i as f64 / 1440.0)).unwrap_or_else(|| "none".into())
+                first_alarm
+                    .map(|i| format!("{:.2}", i as f64 / 1440.0))
+                    .unwrap_or_else(|| "none".into())
             ),
             format!(
                 "inspection_catch_probability,{:.4}",

@@ -7,26 +7,30 @@ use hbm_thermal::{CfdConfig, CfdModel, HeatMatrixModel, ZoneModel};
 use hbm_units::{Duration, Power, Temperature};
 use hbm_workload::{generate, TraceConfig, TraceShape};
 
-use crate::common::{heading, write_csv, Options};
+use crate::common::{heading, write_csv, Options, Sink};
+use crate::outln;
 
 /// Table I: the default parameters.
-pub fn table1(opts: &Options) {
-    heading("Table I — default parameters");
+pub fn table1(opts: &Options, out: &mut Sink) {
+    heading(out, "Table I — default parameters");
     let config = ColoConfig::paper_default();
     let rows: Vec<String> = config
         .table_one()
         .into_iter()
         .map(|(k, v)| {
-            println!("  {k:<45} {v}");
+            outln!(out, "  {k:<45} {v}");
             format!("{k},{v}")
         })
         .collect();
-    write_csv(opts, "table1", "parameter,value", &rows);
+    write_csv(opts, out, "table1", "parameter,value", &rows);
 }
 
 /// Fig. 5b: distribution of side-channel load-estimation error.
-pub fn fig5b(opts: &Options) {
-    heading("Fig. 5b — voltage side channel estimation error distribution");
+pub fn fig5b(opts: &Options, out: &mut Sink) {
+    heading(
+        out,
+        "Fig. 5b — voltage side channel estimation error distribution",
+    );
     let trace = generate(&TraceConfig {
         len: 24 * 60,
         ..TraceConfig::paper_default_year(opts.seed)
@@ -42,24 +46,34 @@ pub fn fig5b(opts: &Options) {
         .map(|(i, p)| format!("{:.4},{:.5}", hist.bin_center(i), p))
         .collect();
     let within_5pct = hist.fraction_within(-0.3, 0.3);
-    println!("  24 h of 1-minute estimates on the default trace");
-    println!("  fraction within ±0.3 kW (≈±5 % of the 6 kW mean): {:.1} %", 100.0 * within_5pct);
-    write_csv(opts, "fig5b", "error_kw,probability", &rows);
+    outln!(out, "  24 h of 1-minute estimates on the default trace");
+    outln!(
+        out,
+        "  fraction within ±0.3 kW (≈±5 % of the 6 kW mean): {:.1} %",
+        100.0 * within_5pct
+    );
+    write_csv(opts, out, "fig5b", "error_kw,probability", &rows);
 }
 
 /// Fig. 6b: 24-hour snapshot of the default power trace.
-pub fn fig6b(opts: &Options) {
-    heading("Fig. 6b — 24 h snapshot of the default (facebook-baidu) trace");
-    snapshot_trace(opts, TraceShape::FacebookBaidu, "fig6b");
+pub fn fig6b(opts: &Options, out: &mut Sink) {
+    heading(
+        out,
+        "Fig. 6b — 24 h snapshot of the default (facebook-baidu) trace",
+    );
+    snapshot_trace(opts, out, TraceShape::FacebookBaidu, "fig6b");
 }
 
 /// Fig. 13a: 24-hour snapshot of the alternate (google) power trace.
-pub fn fig13a(opts: &Options) {
-    heading("Fig. 13a — 24 h snapshot of the alternate (google) trace");
-    snapshot_trace(opts, TraceShape::Google, "fig13a");
+pub fn fig13a(opts: &Options, out: &mut Sink) {
+    heading(
+        out,
+        "Fig. 13a — 24 h snapshot of the alternate (google) trace",
+    );
+    snapshot_trace(opts, out, TraceShape::Google, "fig13a");
 }
 
-fn snapshot_trace(opts: &Options, shape: TraceShape, name: &str) {
+fn snapshot_trace(opts: &Options, out: &mut Sink, shape: TraceShape, name: &str) {
     let mut config = TraceConfig::paper_default_year(opts.seed);
     config.shape = shape;
     config.len = 8 * 24 * 60;
@@ -77,15 +91,16 @@ fn snapshot_trace(opts: &Options, shape: TraceShape, name: &str) {
             .map(|m| trace.get(day_start + h * 60 + m).as_kilowatts())
             .sum::<f64>()
             / 60.0;
-        println!("  {h:02}:00  {:5.2} kW  {}", mean, bar(mean, 8.0));
+        outln!(out, "  {h:02}:00  {:5.2} kW  {}", mean, bar(mean, 8.0));
     }
-    println!(
+    outln!(
+        out,
         "  mean {:.2} kW ({:.0} % of 8 kW), peak {:.2} kW",
         trace.mean().as_kilowatts(),
         100.0 * trace.mean_utilization(Power::from_kilowatts(8.0)),
         trace.peak().as_kilowatts()
     );
-    write_csv(opts, name, "minute,benign_kw", &rows);
+    write_csv(opts, out, name, "minute,benign_kw", &rows);
 }
 
 fn bar(value: f64, max: f64) -> String {
@@ -96,8 +111,11 @@ fn bar(value: f64, max: f64) -> String {
 /// Fig. 7a: zone + heat-matrix model vs the CFD-lite reference on a load
 /// transient (the paper validates simulation against its prototype here;
 /// our prototype stand-in is the CFD model).
-pub fn fig7a(opts: &Options) {
-    heading("Fig. 7a — thermal model validation (CFD-lite vs zone vs matrix)");
+pub fn fig7a(opts: &Options, out: &mut Sink) {
+    heading(
+        out,
+        "Fig. 7a — thermal model validation (CFD-lite vs zone vs matrix)",
+    );
     let config = CfdConfig::paper_default();
     let mut cfd = CfdModel::new(config);
     let mut zone = ZoneModel::paper_default();
@@ -130,13 +148,10 @@ pub fn fig7a(opts: &Options) {
         let z = zone.step(total, minute);
         let c = cfd.mean_inlet();
         sq_err += (z - c).as_celsius().powi(2);
-        rows.push(format!(
-            "{m},{:.3},{:.3}",
-            c.as_celsius(),
-            z.as_celsius()
-        ));
+        rows.push(format!("{m},{:.3},{:.3}", c.as_celsius(), z.as_celsius()));
         if m % 2 == 0 {
-            println!(
+            outln!(
+                out,
                 "  t={m:2} min  cfd {:6.2} °C   zone {:6.2} °C {}",
                 c.as_celsius(),
                 z.as_celsius(),
@@ -145,8 +160,8 @@ pub fn fig7a(opts: &Options) {
         }
     }
     let rmse = (sq_err / total_minutes as f64).sqrt();
-    println!("  zone-vs-CFD RMSE over the transient: {rmse:.2} K");
-    write_csv(opts, "fig7a", "minute,cfd_inlet_c,zone_inlet_c", &rows);
+    outln!(out, "  zone-vs-CFD RMSE over the transient: {rmse:.2} K");
+    write_csv(opts, out, "fig7a", "minute,cfd_inlet_c,zone_inlet_c", &rows);
 
     // Matrix-model cross-check in its (sub-capacity) extraction regime.
     let baseline = vec![Power::from_watts(150.0); n];
@@ -169,15 +184,19 @@ pub fn fig7a(opts: &Options) {
         cfd2.step(powers, minute);
         sq += (predicted - cfd2.mean_inlet()).as_celsius().powi(2);
     }
-    println!(
+    outln!(
+        out,
         "  heat-matrix-vs-CFD RMSE on a sub-capacity excursion: {:.3} K",
         (sq / 12.0).sqrt()
     );
 }
 
 /// Fig. 7b: battery charge/discharge validation (UPS prototype experiment).
-pub fn fig7b(opts: &Options) {
-    heading("Fig. 7b — battery energy dynamics (UPS prototype experiment)");
+pub fn fig7b(opts: &Options, out: &mut Sink) {
+    heading(
+        out,
+        "Fig. 7b — battery energy dynamics (UPS prototype experiment)",
+    );
     let exp = UpsExperiment::default();
     let trace = ups_experiment(&exp);
     let rows: Vec<String> = trace
@@ -192,21 +211,28 @@ pub fn fig7b(opts: &Options) {
         })
         .collect();
     for s in trace.iter().step_by(8) {
-        println!(
+        outln!(
+            out,
             "  t={:5.1} min  battery {:5.1} Wh  wall {:5.0} W",
             s.elapsed.as_minutes(),
             s.stored.as_watt_hours(),
             s.wall_power.as_watts()
         );
     }
-    println!("  (10-minute discharge at ~175 W, then recharge; charge slope is shallower — losses)");
-    write_csv(opts, "fig7b", "minute,stored_wh,wall_w", &rows);
+    outln!(
+        out,
+        "  (10-minute discharge at ~175 W, then recharge; charge slope is shallower — losses)"
+    );
+    write_csv(opts, out, "fig7b", "minute,stored_wh,wall_w", &rows);
 }
 
 /// Fig. 14a: prototype demonstration — inlet temperature under a 1.5 kW
 /// cooling overload on the 3 kW prototype rack.
-pub fn fig14a(opts: &Options) {
-    heading("Fig. 14a — prototype: inlet rise under 1.5 kW cooling overload");
+pub fn fig14a(opts: &Options, out: &mut Sink) {
+    heading(
+        out,
+        "Fig. 14a — prototype: inlet rise under 1.5 kW cooling overload",
+    );
     let mut zone = ZoneModel::prototype();
     let load = zone.cooling().capacity + Power::from_kilowatts(1.5);
     let mut rows = Vec::new();
@@ -217,15 +243,21 @@ pub fn fig14a(opts: &Options) {
         if reached_40.is_none() && t >= Temperature::from_celsius(40.0) {
             reached_40 = Some(m + 1);
         }
-        println!("  t={m:2} min  inlet {:6.2} °C", t.as_celsius());
+        outln!(out, "  t={m:2} min  inlet {:6.2} °C", t.as_celsius());
         if t > Temperature::from_celsius(42.0) {
-            println!("  (stopping at the ASHRAE safety limit, as the paper's prototype run did)");
+            outln!(
+                out,
+                "  (stopping at the ASHRAE safety limit, as the paper's prototype run did)"
+            );
             break;
         }
     }
     match reached_40 {
-        Some(m) => println!("  inlet reached 40 °C within {m} minutes (paper: \"within minutes\")"),
-        None => println!("  inlet did not reach 40 °C within 12 minutes"),
+        Some(m) => outln!(
+            out,
+            "  inlet reached 40 °C within {m} minutes (paper: \"within minutes\")"
+        ),
+        None => outln!(out, "  inlet did not reach 40 °C within 12 minutes"),
     }
-    write_csv(opts, "fig14a", "minute,inlet_c", &rows);
+    write_csv(opts, out, "fig14a", "minute,inlet_c", &rows);
 }

@@ -2,12 +2,13 @@
 
 use hbm_workload::latency::LatencyModel;
 
-use crate::common::{heading, write_csv, Options};
+use crate::common::{heading, write_csv, Options, Sink};
+use crate::outln;
 
 /// Fig. 14b: latency jump under the 60 % emergency power cap (prototype
 /// CloudSuite Web Service demonstration).
-pub fn fig14b(opts: &Options) {
-    heading("Fig. 14b — 95p response time under a 60 % power cap");
+pub fn fig14b(opts: &Options, out: &mut Sink) {
+    heading(out, "Fig. 14b — 95p response time under a 60 % power cap");
     let model = LatencyModel::web_service();
     let load = model.rated_load();
     let mut rows = Vec::new();
@@ -18,7 +19,8 @@ pub fn fig14b(opts: &Options) {
         let t95 = model.t95_millis(power, load);
         rows.push(format!("{m},{power},{t95:.1}"));
         if m % 2 == 0 {
-            println!(
+            outln!(
+                out,
                 "  t={m:2} min  power {:3.0} %  t95 {:5.0} ms{}",
                 power * 100.0,
                 t95,
@@ -27,32 +29,49 @@ pub fn fig14b(opts: &Options) {
         }
     }
     let jump = model.t95_millis(0.6, load) / model.t95_millis(1.0, load);
-    println!("  capping multiplies t95 by ≈{jump:.1} (paper: ≈4×, 100 → 400 ms)");
-    write_csv(opts, "fig14b", "minute,power_frac,t95_ms", &rows);
+    outln!(
+        out,
+        "  capping multiplies t95 by ≈{jump:.1} (paper: ≈4×, 100 → 400 ms)"
+    );
+    write_csv(opts, out, "fig14b", "minute,power_frac,t95_ms", &rows);
 }
 
 /// Fig. 15: 95p response time (normalized to the 100 ms SLA) vs normalized
 /// server power for Web Service and Web Search at two load levels each.
-pub fn fig15(opts: &Options) {
-    heading("Fig. 15 — performance degradation vs power cap (CloudSuite models)");
+pub fn fig15(opts: &Options, out: &mut Sink) {
+    heading(
+        out,
+        "Fig. 15 — performance degradation vs power cap (CloudSuite models)",
+    );
     let mut rows = Vec::new();
     let cases = [
         ("web_service", LatencyModel::web_service(), 0.30, 0.40),
         ("web_search", LatencyModel::web_search(), 0.35, 0.45),
     ];
     for (name, model, low_load, high_load) in cases {
-        println!("  {name}:  power%   t95/SLA (low load)   t95/SLA (high load)");
+        outln!(
+            out,
+            "  {name}:  power%   t95/SLA (low load)   t95/SLA (high load)"
+        );
         for step in 0..=8 {
             let power = 0.5 + 0.0625 * step as f64;
             let lo = model.t95_normalized_to_sla(power, low_load);
             let hi = model.t95_normalized_to_sla(power, high_load);
-            println!("            {:5.1}   {lo:18.2}   {hi:19.2}", power * 100.0);
+            outln!(
+                out,
+                "            {:5.1}   {lo:18.2}   {hi:19.2}",
+                power * 100.0
+            );
             rows.push(format!("{name},{power:.4},{lo:.4},{hi:.4}"));
         }
     }
-    println!("  (lower power ⇒ higher tail latency at any load — Appendix A)");
+    outln!(
+        out,
+        "  (lower power ⇒ higher tail latency at any load — Appendix A)"
+    );
     write_csv(
         opts,
+        out,
         "fig15",
         "application,power_frac,t95_sla_low_load,t95_sla_high_load",
         &rows,

@@ -2,13 +2,20 @@
 //! Meter* (HPCA 2021) from the workspace simulator.
 //!
 //! ```text
-//! experiments <id>... [--days N] [--warmup-days N] [--seed N] [--out DIR]
+//! experiments <id>... [--days N] [--warmup-days N] [--seed N] [--out DIR] [--jobs N]
 //! experiments all [--days N] ...
 //! ```
 //!
 //! Each experiment prints a summary table and writes the full data series
 //! to `<out>/<id>.csv`. `--days` shortens the measured horizon (the paper
 //! uses a year; smoke runs are fine with 30–60 days).
+//!
+//! `--jobs N` runs independent experiments on up to `N` threads (0 = one
+//! per core); sweeps inside an experiment parallelize too, all drawing
+//! from the same thread budget. Every simulation is seeded per run, and
+//! each experiment's console output is buffered and flushed in submission
+//! order, so tables stay uninterleaved and CSVs are byte-identical
+//! whatever `--jobs` is.
 
 mod common;
 mod figs_attack;
@@ -18,9 +25,9 @@ mod figs_infra;
 mod figs_perf;
 mod figs_sense;
 
-use common::Options;
+use common::{Options, Sink};
 
-type Runner = fn(&Options);
+type Runner = fn(&Options, &mut Sink);
 
 const EXPERIMENTS: &[(&str, Runner)] = &[
     ("table1", figs_infra::table1),
@@ -64,28 +71,55 @@ fn main() {
         }
     };
     if ids.is_empty() {
-        eprintln!("usage: experiments <id>... | all   [--days N] [--warmup-days N] [--seed N] [--out DIR]");
+        eprintln!("usage: experiments <id>... | all   [--days N] [--warmup-days N] [--seed N] [--out DIR] [--jobs N]");
         eprintln!("available experiments:");
         for (name, _) in EXPERIMENTS {
             eprintln!("  {name}");
         }
         std::process::exit(2);
     }
-    let start = std::time::Instant::now();
+
+    // Expand and validate up front so an unknown id fails before any work.
+    let mut runs: Vec<(&str, Runner)> = Vec::new();
     for id in &ids {
         if id == "all" {
-            for (_, f) in EXPERIMENTS {
-                f(&opts);
-            }
+            runs.extend(EXPERIMENTS.iter().copied());
             continue;
         }
         match EXPERIMENTS.iter().find(|(name, _)| name == id) {
-            Some((_, f)) => f(&opts),
+            Some(&entry) => runs.push(entry),
             None => {
                 eprintln!("error: unknown experiment {id:?} (try `experiments` with no args for the list)");
                 std::process::exit(2);
             }
         }
     }
-    eprintln!("\n[{} experiment(s) in {:.1?}]", ids.len(), start.elapsed());
+
+    hbm_par::configure_threads(opts.jobs.max(1));
+    let start = std::time::Instant::now();
+    let count = runs.len();
+    if opts.jobs <= 1 {
+        // Serial path streams each experiment's output as it runs.
+        let mut sink = Sink::new();
+        for (_, f) in runs {
+            f(&opts, &mut sink);
+            sink.flush_to_stdout();
+        }
+    } else {
+        // Parallel path: run buffered, then flush whole experiments in
+        // submission order so tables never interleave.
+        let sinks = hbm_par::par_map(runs, |(_, f)| {
+            let mut sink = Sink::new();
+            f(&opts, &mut sink);
+            sink
+        });
+        for mut sink in sinks {
+            sink.flush_to_stdout();
+        }
+    }
+    eprintln!(
+        "\n[{count} experiment(s) in {:.1?}, --jobs {}]",
+        start.elapsed(),
+        opts.jobs
+    );
 }

@@ -1,0 +1,194 @@
+//! Fork-join parallelism over scoped threads, with a process-wide thread
+//! budget so nested [`par_map`] calls do not oversubscribe the machine.
+//!
+//! This is the workspace's offline substitute for rayon: the experiment
+//! driver parallelizes across experiments while individual experiments
+//! parallelize their internal sweeps, and both draw extra workers from
+//! one shared budget. When the budget is exhausted, `par_map` degrades
+//! to an ordinary sequential loop on the calling thread — results are
+//! identical either way because outputs are collected by input index.
+
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Extra worker threads the whole process may have in flight, beyond the
+/// threads that call [`par_map`]. Negative is never stored; 0 means every
+/// `par_map` call runs sequentially.
+static EXTRA_THREAD_BUDGET: AtomicIsize = AtomicIsize::new(0);
+static CONFIGURED: AtomicIsize = AtomicIsize::new(0);
+
+/// Sets the process-wide parallelism level to `total` concurrent threads
+/// (the caller's own thread counts as one, so `total = 1` disables all
+/// worker spawning). Later calls replace earlier ones; the unreleased
+/// portion of the old budget carries over proportionally.
+pub fn configure_threads(total: usize) {
+    let new_extra = total.saturating_sub(1) as isize;
+    let old_extra = CONFIGURED.swap(new_extra, Ordering::SeqCst);
+    // Adjust the live budget by the delta so in-flight borrows stay sound.
+    EXTRA_THREAD_BUDGET.fetch_add(new_extra - old_extra, Ordering::SeqCst);
+}
+
+/// The configured total thread count (1 = sequential).
+pub fn configured_threads() -> usize {
+    CONFIGURED.load(Ordering::SeqCst) as usize + 1
+}
+
+/// Borrows up to `want` extra threads from the global budget, returning
+/// how many were actually granted. Released on drop.
+struct BudgetLease {
+    granted: usize,
+}
+
+impl BudgetLease {
+    fn acquire(want: usize) -> BudgetLease {
+        let mut granted = 0;
+        while granted < want {
+            let cur = EXTRA_THREAD_BUDGET.load(Ordering::SeqCst);
+            if cur <= 0 {
+                break;
+            }
+            let take = (cur as usize).min(want - granted) as isize;
+            if EXTRA_THREAD_BUDGET
+                .compare_exchange(cur, cur - take, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                granted += take as usize;
+            }
+        }
+        BudgetLease { granted }
+    }
+}
+
+impl Drop for BudgetLease {
+    fn drop(&mut self) {
+        EXTRA_THREAD_BUDGET.fetch_add(self.granted as isize, Ordering::SeqCst);
+    }
+}
+
+/// Applies `f` to every item, in parallel when the thread budget allows,
+/// and returns the outputs in input order.
+///
+/// Work is distributed dynamically (an atomic next-item index), so uneven
+/// item costs balance across workers. The calling thread always
+/// participates; with an empty budget this is exactly `items.map(f)`.
+///
+/// Panics in `f` propagate to the caller after all workers stop.
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let lease = BudgetLease::acquire(n - 1);
+    if lease.granted == 0 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Hand items out by index; collect (index, output) pairs and reorder.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let out: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+
+    std::thread::scope(|scope| {
+        let worker = || {
+            let mut local: Vec<(usize, U)> = Vec::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("item taken twice");
+                local.push((i, f(item)));
+            }
+            out.lock().unwrap().extend(local);
+        };
+        let handles: Vec<_> = (0..lease.granted).map(|_| scope.spawn(worker)).collect();
+        worker();
+        for h in handles {
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    });
+
+    drop(lease);
+    let mut pairs = out.into_inner().unwrap();
+    pairs.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), n);
+    pairs.into_iter().map(|(_, u)| u).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    // The budget is process-global state shared by all #[test] threads, so
+    // each test configures generously rather than asserting exact counts.
+
+    #[test]
+    fn sequential_when_budget_is_zero() {
+        let out = par_map(vec![1, 2, 3], |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn parallel_results_stay_in_input_order() {
+        configure_threads(4);
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(items, |x| {
+            if x % 7 == 0 {
+                std::thread::yield_now();
+            }
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_calls_do_not_deadlock() {
+        configure_threads(4);
+        let out = par_map(vec![0usize, 1, 2], |outer| {
+            par_map((0..5usize).collect(), move |inner| outer * 100 + inner)
+                .into_iter()
+                .sum::<usize>()
+        });
+        assert_eq!(out, vec![10, 510, 1010]);
+    }
+
+    #[test]
+    fn budget_is_released_after_use() {
+        configure_threads(3);
+        for _ in 0..50 {
+            let _ = par_map(vec![1, 2, 3, 4], |x| x + 1);
+        }
+        // If leases leaked, the budget would be exhausted and this would
+        // still work (sequentially) — so instead check the counter itself.
+        let extra = super::EXTRA_THREAD_BUDGET.load(Ordering::SeqCst);
+        assert!(extra >= 0, "budget must never stay negative: {extra}");
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        configure_threads(4);
+        static HITS: AtomicUsize = AtomicUsize::new(0);
+        let out = par_map((0..256usize).collect::<Vec<_>>(), |x| {
+            HITS.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(out.len(), 256);
+        assert_eq!(out, (0..256).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = vec![];
+        assert!(par_map(empty, |x| x).is_empty());
+        assert_eq!(par_map(vec![9], |x| x + 1), vec![10]);
+    }
+}

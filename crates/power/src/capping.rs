@@ -75,7 +75,10 @@ impl EmergencyProtocol {
     ) -> Self {
         assert!(shutdown > threshold, "shutdown limit must exceed threshold");
         assert!(dwell >= Duration::ZERO, "dwell must be non-negative");
-        assert!(cap_duration > Duration::ZERO, "cap duration must be positive");
+        assert!(
+            cap_duration > Duration::ZERO,
+            "cap duration must be positive"
+        );
         assert!(cap_per_server > Power::ZERO, "cap must be positive");
         EmergencyProtocol {
             threshold,
@@ -196,9 +199,15 @@ mod tests {
     #[test]
     fn declares_emergency_after_dwell() {
         let mut p = EmergencyProtocol::paper_default();
-        assert!(matches!(p.step(hot(), minute()), ProtocolState::Watch { .. }));
+        assert!(matches!(
+            p.step(hot(), minute()),
+            ProtocolState::Watch { .. }
+        ));
         let s = p.step(hot(), minute());
-        assert!(s.is_capping(), "2 minutes over threshold must cap, got {s:?}");
+        assert!(
+            s.is_capping(),
+            "2 minutes over threshold must cap, got {s:?}"
+        );
     }
 
     #[test]
@@ -220,7 +229,10 @@ mod tests {
                 capped += 1;
             }
         }
-        assert_eq!(capped, 4, "5-minute episode spans 5 slots incl. declaration");
+        assert_eq!(
+            capped, 4,
+            "5-minute episode spans 5 slots incl. declaration"
+        );
     }
 
     #[test]

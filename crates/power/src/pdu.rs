@@ -161,7 +161,10 @@ mod tests {
         let pdu = paper_pdu();
         assert_eq!(pdu.tenants().len(), 4);
         assert_eq!(
-            pdu.tenants().iter().map(Tenant::server_count).sum::<usize>(),
+            pdu.tenants()
+                .iter()
+                .map(Tenant::server_count)
+                .sum::<usize>(),
             40
         );
         assert_eq!(pdu.total_subscribed(), Power::from_kilowatts(8.0));

@@ -7,9 +7,7 @@ use hbm_units::Power;
 use crate::ServerSpec;
 
 /// Opaque identifier of a tenant within one colocation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TenantId(pub usize);
 
 impl std::fmt::Display for TenantId {

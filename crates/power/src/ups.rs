@@ -110,7 +110,10 @@ mod tests {
         let ups = Ups::paper_default();
         let full = ups.efficiency_at(Power::from_kilowatts(8.0));
         let light = ups.efficiency_at(Power::from_kilowatts(1.0));
-        assert!(full > light, "full-load {full} must beat light-load {light}");
+        assert!(
+            full > light,
+            "full-load {full} must beat light-load {light}"
+        );
         assert!(full > 0.94 && full < 0.98);
         assert!(light > 0.85);
     }

@@ -171,7 +171,10 @@ impl BatchQLearning {
     ) where
         F: Fn(usize, usize) -> usize,
     {
-        assert!(delta > 0.0 && delta <= 1.0, "learning rate must be in (0, 1]");
+        assert!(
+            delta > 0.0 && delta <= 1.0,
+            "learning rate must be in (0, 1]"
+        );
         // Eqn. 5: Q tracks the immediate reward.
         self.q.blend(s, a, reward, delta);
         // Eqns. 6–7: propagate the next state's value to the post state.
@@ -276,8 +279,18 @@ mod tests {
         let agent = train(11, 20_000);
         let v = agent.post_values();
         // Full-battery post states dominate empty-battery ones at equal load.
-        assert!(v[2] > v[0], "V(full, low) {} vs V(empty, low) {}", v[2], v[0]);
-        assert!(v[3] > v[1], "V(full, high) {} vs V(empty, high) {}", v[3], v[1]);
+        assert!(
+            v[2] > v[0],
+            "V(full, low) {} vs V(empty, low) {}",
+            v[2],
+            v[0]
+        );
+        assert!(
+            v[3] > v[1],
+            "V(full, high) {} vs V(empty, high) {}",
+            v[3],
+            v[1]
+        );
     }
 
     #[test]
@@ -296,7 +309,7 @@ mod tests {
         agent.post_values_mut()[0] = 10.0;
         agent.post_values_mut()[1] = 0.0;
         let post = |_s: usize, a: usize| a; // action 0 → post 0, action 1 → post 1
-        // C(0) = max(1 + 0.5·10, 3 + 0.5·0) = 6.
+                                            // C(0) = max(1 + 0.5·10, 3 + 0.5·0) = 6.
         assert_eq!(agent.state_value(0, &[0, 1], post), 6.0);
         assert_eq!(agent.select_greedy(0, &[0, 1], post), 0);
     }

@@ -148,11 +148,7 @@ mod tests {
     /// pays noisy reward with mean −0.1. Optimal is action 0, but plain
     /// Q-learning's max over noisy estimates makes action 1 look positive
     /// for a long time.
-    fn noisy_env(
-        rng: &mut StdRng,
-        s: usize,
-        _a: usize,
-    ) -> (f64, usize) {
+    fn noisy_env(rng: &mut StdRng, s: usize, _a: usize) -> (f64, usize) {
         if s == 1 {
             let noise = rng.random::<f64>() * 2.0 - 1.0; // ±1
             (-0.1 + noise, 2) // terminal

@@ -81,7 +81,10 @@ impl QTable {
     ///
     /// Panics if indices are out of range or `δ` is outside `(0, 1]`.
     pub fn blend(&mut self, s: usize, a: usize, target: f64, delta: f64) {
-        assert!(delta > 0.0 && delta <= 1.0, "learning rate must be in (0, 1]");
+        assert!(
+            delta > 0.0 && delta <= 1.0,
+            "learning rate must be in (0, 1]"
+        );
         let i = self.idx(s, a);
         self.values[i] = (1.0 - delta) * self.values[i] + delta * target;
         self.visits[i] += 1;

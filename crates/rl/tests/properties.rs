@@ -61,7 +61,9 @@ proptest! {
         delta in 0.05..0.9f64,
     ) {
         let mut q = QTable::new(1, 1);
-        for _ in 0..200 {
+        // 400 iterations keep |50 * (1 - delta)^n| under 1e-3 across the
+        // whole delta range, including the 0.05 boundary.
+        for _ in 0..400 {
             q.blend(0, 0, target, delta);
         }
         prop_assert!((q.get(0, 0) - target).abs() < 1e-3);

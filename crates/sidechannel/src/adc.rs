@@ -34,7 +34,10 @@ impl Adc {
     ///
     /// Panics if `bits` is 0 or > 24, or the range is empty.
     pub fn new(bits: u8, min_volts: f64, max_volts: f64) -> Self {
-        assert!((1..=24).contains(&bits), "ADC resolution must be 1..=24 bits");
+        assert!(
+            (1..=24).contains(&bits),
+            "ADC resolution must be 1..=24 bits"
+        );
         assert!(max_volts > min_volts, "ADC range must be non-empty");
         Adc {
             bits,

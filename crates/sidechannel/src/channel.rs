@@ -114,8 +114,7 @@ impl VoltageSideChannel {
         let avg_factor = n.sqrt();
 
         // Slow grid wander: AR(1) with a long time constant.
-        self.wander = 0.995 * self.wander
-            + cfg.grid_wander_volts * 0.1 * std_normal(&mut self.rng);
+        self.wander = 0.995 * self.wander + cfg.grid_wander_volts * 0.1 * std_normal(&mut self.rng);
 
         // --- DC sag path ---
         let true_v = cfg.line.outlet_volts(true_total) + self.wander;
@@ -127,8 +126,7 @@ impl VoltageSideChannel {
         let amp_mv = cfg.ripple.amplitude_mv(true_total)
             + cfg.ripple.process_noise_mv / avg_factor * std_normal(&mut self.rng);
         let sensed_mv = cfg.ripple_adc.quantize(amp_mv / 1000.0) * 1000.0;
-        let p_ripple =
-            cfg.ripple.power_from_amplitude(sensed_mv) * self.ripple_gain_bias;
+        let p_ripple = cfg.ripple.power_from_amplitude(sensed_mv) * self.ripple_gain_bias;
 
         // --- Fusion ---
         // The ripple path is the workhorse (robust to grid wander); the DC
@@ -136,8 +134,7 @@ impl VoltageSideChannel {
         // variances of the two paths under the default calibration.
         let fused = p_ripple * 0.9 + p_dc * 0.1;
 
-        let jammed = fused
-            + cfg.extra_noise * std_normal(&mut self.rng);
+        let jammed = fused + cfg.extra_noise * std_normal(&mut self.rng);
         jammed.positive_part()
     }
 
@@ -226,8 +223,7 @@ mod tests {
 
     #[test]
     fn estimates_never_negative() {
-        let cfg = SideChannelConfig::paper_default()
-            .with_extra_noise(Power::from_kilowatts(2.0));
+        let cfg = SideChannelConfig::paper_default().with_extra_noise(Power::from_kilowatts(2.0));
         let mut sc = VoltageSideChannel::new(cfg, 3);
         for _ in 0..500 {
             assert!(sc.estimate(Power::from_kilowatts(0.2)) >= Power::ZERO);

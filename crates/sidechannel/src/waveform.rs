@@ -75,12 +75,7 @@ impl WaveformConfig {
 /// # Panics
 ///
 /// Panics if the config is invalid or `samples` is zero.
-pub fn synthesize(
-    config: &WaveformConfig,
-    total: Power,
-    samples: usize,
-    seed: u64,
-) -> Vec<f64> {
+pub fn synthesize(config: &WaveformConfig, total: Power, samples: usize, seed: u64) -> Vec<f64> {
     config.validate().expect("invalid waveform config");
     assert!(samples > 0, "need at least one sample");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -147,10 +142,8 @@ pub fn power_from_waveform(config: &WaveformConfig, signal: &[f64]) -> Power {
     let cycles = (filtered.len() as f64 * cycles_per_sample).floor();
     let usable = (cycles / cycles_per_sample).round() as usize;
     filtered.truncate(usable.max(2).min(filtered.len()));
-    let gain =
-        2.0 * (std::f64::consts::PI * config.pfc_hz / config.sample_rate_hz).sin();
-    let amplitude_v =
-        goertzel_amplitude(&filtered, config.sample_rate_hz, config.pfc_hz) / gain;
+    let gain = 2.0 * (std::f64::consts::PI * config.pfc_hz / config.sample_rate_hz).sin();
+    let amplitude_v = goertzel_amplitude(&filtered, config.sample_rate_hz, config.pfc_hz) / gain;
     config.ripple.power_from_amplitude(amplitude_v * 1000.0)
 }
 

@@ -1,0 +1,102 @@
+//! Regenerates the golden traces in `tests/golden/` used by the
+//! `golden_equivalence` test.
+//!
+//! The traces were captured from the original nested-`Vec` CFD and
+//! matrix-model implementations; the flat-buffer rewrites must reproduce
+//! them to 1e-12. Only rerun this (`cargo run -p hbm-thermal --example
+//! gen_golden`) if the *physics* intentionally changes, never to paper
+//! over a numerical regression.
+
+use std::fmt::Write as _;
+
+use hbm_thermal::{extract_heat_matrix, CfdConfig, CfdModel, CoolingSystem, HeatMatrixModel};
+use hbm_units::{Duration, Power, Temperature};
+
+/// Deterministic time-varying power pattern built from dyadic rationals so
+/// every value is exact in binary (no libm involvement).
+fn pattern_power(server: usize, step: usize) -> Power {
+    let phase = (server * 7 + step * 13) % 16;
+    Power::from_watts(150.0 + 50.0 * phase as f64 / 16.0)
+}
+
+fn small_config() -> CfdConfig {
+    CfdConfig {
+        racks: 1,
+        servers_per_rack: 4,
+        cooling: CoolingSystem {
+            capacity: Power::from_kilowatts(0.8),
+            supply: Temperature::from_celsius(27.0),
+            derate_onset: Temperature::from_celsius(33.0),
+            derate_per_kelvin: 0.05,
+            min_capacity_fraction: 0.65,
+        },
+        per_server_flow_kg_s: 0.018,
+        leakage_fraction: 0.06,
+        cell_mass_kg: 0.5,
+        plenum_mass_kg: 1.0,
+    }
+}
+
+fn cfd_trace(config: CfdConfig, steps: usize) -> String {
+    let mut cfd = CfdModel::new(config);
+    let n = config.server_count();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# per step: all {n} inlet temperatures (deg C), one value per line"
+    );
+    for k in 0..steps {
+        let powers: Vec<Power> = (0..n).map(|s| pattern_power(s, k)).collect();
+        cfd.step(&powers, Duration::from_minutes(0.5));
+        for t in cfd.inlets() {
+            let _ = writeln!(out, "{:.17e}", t.as_celsius());
+        }
+    }
+    out
+}
+
+fn matrix_trace(steps: usize) -> String {
+    let config = small_config();
+    let baseline = vec![Power::from_watts(150.0); 4];
+    let spike = Power::from_watts(120.0);
+    let window = Duration::from_minutes(5.0);
+    let lag = Duration::from_minutes(1.0);
+
+    let mut out = String::new();
+    let matrix = extract_heat_matrix(&config, &baseline, spike, window, lag);
+    let _ = writeln!(out, "# matrix responses [source][receiver][lag] (K/W)");
+    for s in 0..4 {
+        for r in 0..4 {
+            for l in 0..matrix.lag_count() {
+                let _ = writeln!(out, "{:.17e}", matrix.response(s, r, l));
+            }
+        }
+    }
+
+    let mut model = HeatMatrixModel::from_cfd(&config, &baseline, spike, window, lag);
+    let _ = writeln!(out, "# per step: 4 predicted inlet temperatures (deg C)");
+    for k in 0..steps {
+        let powers: Vec<Power> = (0..4).map(|s| pattern_power(s, k)).collect();
+        for t in model.step(&powers) {
+            let _ = writeln!(out, "{:.17e}", t.as_celsius());
+        }
+    }
+    out
+}
+
+fn main() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    std::fs::create_dir_all(&dir).expect("create golden dir");
+    std::fs::write(
+        dir.join("cfd_paper_default.txt"),
+        cfd_trace(CfdConfig::paper_default(), 100),
+    )
+    .expect("write cfd golden");
+    std::fs::write(
+        dir.join("cfd_prototype.txt"),
+        cfd_trace(CfdConfig::prototype(), 100),
+    )
+    .expect("write prototype golden");
+    std::fs::write(dir.join("matrix_small.txt"), matrix_trace(100)).expect("write matrix golden");
+    println!("golden traces written to {}", dir.display());
+}

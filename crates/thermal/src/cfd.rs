@@ -134,19 +134,36 @@ impl CfdConfig {
 /// // Below capacity: inlets stay essentially at the 27 °C supply setpoint.
 /// assert!(cfd.mean_inlet().as_celsius() < 28.5);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CfdModel {
     config: CfdConfig,
-    /// Cold-aisle cell temperatures, indexed `[rack][height]`, °C.
-    cold: Vec<Vec<f64>>,
-    /// Hot-aisle cell temperatures, indexed `[rack][height]`, °C.
-    hot: Vec<Vec<f64>>,
+    /// Cold-aisle cell temperatures, rack-major
+    /// (`rack * servers_per_rack + height`), °C.
+    cold: Vec<f64>,
+    /// Hot-aisle cell temperatures, rack-major, °C.
+    hot: Vec<f64>,
+    /// Back buffers swapped with the live state every sub-step, so
+    /// integration never allocates.
+    cold_back: Vec<f64>,
+    hot_back: Vec<f64>,
     /// Supply duct temperature, °C.
     duct: f64,
     /// Return plenum temperature, °C.
     ret: f64,
     /// Integration sub-step, seconds.
     dt: f64,
+}
+
+impl PartialEq for CfdModel {
+    /// Compares the physical state only; the back buffers are scratch.
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.cold == other.cold
+            && self.hot == other.hot
+            && self.duct == other.duct
+            && self.ret == other.ret
+            && self.dt == other.dt
+    }
 }
 
 impl CfdModel {
@@ -166,9 +183,12 @@ impl CfdModel {
             * (1.0 - config.leakage_fraction)
             + config.per_server_flow_kg_s;
         let dt = (0.4 * config.cell_mass_kg / max_flow).min(0.5);
+        let cells = config.server_count();
         CfdModel {
-            cold: vec![vec![sup; config.servers_per_rack]; config.racks],
-            hot: vec![vec![sup; config.servers_per_rack]; config.racks],
+            cold: vec![sup; cells],
+            hot: vec![sup; cells],
+            cold_back: vec![sup; cells],
+            hot_back: vec![sup; cells],
             duct: sup,
             ret: sup,
             dt,
@@ -189,7 +209,7 @@ impl CfdModel {
     /// Panics if `s` is out of range.
     pub fn inlet(&self, s: usize) -> Temperature {
         let (r, h) = self.locate(s);
-        Temperature::from_celsius(self.cold[r][h])
+        Temperature::from_celsius(self.cold[r * self.config.servers_per_rack + h])
     }
 
     /// Outlet temperature of server `s` under the given power.
@@ -199,26 +219,22 @@ impl CfdModel {
     /// Panics if `s` is out of range.
     pub fn outlet(&self, s: usize, power: Power) -> Temperature {
         let inlet = self.inlet(s);
-        inlet + TemperatureDelta::from_celsius(
-            power.as_watts() / (self.config.per_server_flow_kg_s * CP_AIR),
-        )
+        inlet
+            + TemperatureDelta::from_celsius(
+                power.as_watts() / (self.config.per_server_flow_kg_s * CP_AIR),
+            )
     }
 
     /// Mean server inlet temperature (the paper's headline thermal metric).
     pub fn mean_inlet(&self) -> Temperature {
         let n = self.config.server_count() as f64;
-        let sum: f64 = self.cold.iter().flatten().sum();
+        let sum: f64 = self.cold.iter().sum();
         Temperature::from_celsius(sum / n)
     }
 
     /// Hottest server inlet.
     pub fn max_inlet(&self) -> Temperature {
-        let m = self
-            .cold
-            .iter()
-            .flatten()
-            .cloned()
-            .fold(f64::MIN, f64::max);
+        let m = self.cold.iter().cloned().fold(f64::MIN, f64::max);
         Temperature::from_celsius(m)
     }
 
@@ -231,9 +247,14 @@ impl CfdModel {
     pub fn inlets(&self) -> Vec<Temperature> {
         self.cold
             .iter()
-            .flatten()
             .map(|&c| Temperature::from_celsius(c))
             .collect()
+    }
+
+    /// All inlet temperatures in °C, rack-major, without allocating
+    /// (the cold-aisle cells *are* the inlets).
+    pub(crate) fn inlet_celsius(&self) -> &[f64] {
+        &self.cold
     }
 
     /// Advances the model by `span` with constant per-server powers.
@@ -300,6 +321,13 @@ impl CfdModel {
         let n_h = cfg.servers_per_rack;
         let rack_supply = n_h as f64 * m * keep; // duct inflow per rack
         let cell_mass = cfg.cell_mass_kg;
+        // Loop invariants hoisted out of the cell loop; each matches the
+        // per-cell expression of the original nested-Vec implementation
+        // bit for bit (same operands, same association).
+        let m_cp = m * CP_AIR;
+        let lam_m = lam * m;
+        let keep_m = keep * m;
+        let h_over_mass = |d: f64| h * d / cell_mass;
 
         // AC: cool the return air toward the setpoint, limited by effective
         // capacity (derated by the current mean inlet).
@@ -313,49 +341,52 @@ impl CfdModel {
         // Supply duct.
         let duct_next = self.duct + h * ac_flow / cfg.plenum_mass_kg * (ac_out - self.duct);
 
-        let mut cold_next = self.cold.clone();
-        let mut hot_next = self.hot.clone();
+        let duct = self.duct;
+        let cold = &self.cold;
+        let hot = &self.hot;
+        let cold_next = &mut self.cold_back;
+        let hot_next = &mut self.hot_back;
         let mut return_inflow_temp = 0.0;
 
         for r in 0..cfg.racks {
             // Upward flow in the cold aisle above height i:
             //   f_c(i) = (n_h - 1 - i) * m * keep
             // and in the hot aisle: f_h(i) = (i + 1) * m * keep.
+            let base = r * n_h;
             for i in 0..n_h {
-                let s = r * n_h + i;
+                let s = base + i;
                 let p = powers[s].as_watts();
-                let t_in = self.cold[r][i];
-                let t_out = t_in + p / (m * CP_AIR);
+                let t_in = cold[s];
+                let t_out = t_in + p / m_cp;
 
                 // Cold cell i: inflow from below (duct for i = 0) plus local
                 // leakage of this server's exhaust; outflow to the server
                 // and upward.
-                let below_t = if i == 0 { self.duct } else { self.cold[r][i - 1] };
+                let below_t = if i == 0 { duct } else { cold[s - 1] };
                 let inflow_below = if i == 0 {
                     rack_supply
                 } else {
                     (n_h - i) as f64 * m * keep
                 };
-                let d_cold = inflow_below * (below_t - t_in) + lam * m * (t_out - t_in);
-                cold_next[r][i] = t_in + h * d_cold / cell_mass;
+                let d_cold = inflow_below * (below_t - t_in) + lam_m * (t_out - t_in);
+                cold_next[s] = t_in + h_over_mass(d_cold);
 
                 // Hot cell i: server exhaust plus flow from below.
-                let t_hot = self.hot[r][i];
-                let hot_below_t = if i == 0 { t_hot } else { self.hot[r][i - 1] };
+                let t_hot = hot[s];
+                let hot_below_t = if i == 0 { t_hot } else { hot[s - 1] };
                 let hot_inflow_below = if i == 0 { 0.0 } else { i as f64 * m * keep };
-                let d_hot =
-                    keep * m * (t_out - t_hot) + hot_inflow_below * (hot_below_t - t_hot);
-                hot_next[r][i] = t_hot + h * d_hot / cell_mass;
+                let d_hot = keep_m * (t_out - t_hot) + hot_inflow_below * (hot_below_t - t_hot);
+                hot_next[s] = t_hot + h_over_mass(d_hot);
             }
-            return_inflow_temp += self.hot[r][n_h - 1];
+            return_inflow_temp += hot[base + n_h - 1];
         }
 
         // Return plenum mixes the top-of-hot-aisle flows of all racks.
         let mean_top = return_inflow_temp / cfg.racks as f64;
         let ret_next = self.ret + h * ac_flow / cfg.plenum_mass_kg * (mean_top - self.ret);
 
-        self.cold = cold_next;
-        self.hot = hot_next;
+        std::mem::swap(&mut self.cold, &mut self.cold_back);
+        std::mem::swap(&mut self.hot, &mut self.hot_back);
         self.duct = duct_next;
         self.ret = ret_next;
     }

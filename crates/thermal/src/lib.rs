@@ -48,5 +48,8 @@ mod zone;
 
 pub use cfd::{CfdConfig, CfdModel};
 pub use cooling::CoolingSystem;
-pub use matrix::{extract_heat_matrix, HeatMatrix, HeatMatrixModel};
+pub use matrix::{
+    clear_heat_matrix_cache, extract_heat_matrix, heat_matrix_cache_stats, HeatMatrix,
+    HeatMatrixCacheStats, HeatMatrixModel,
+};
 pub use zone::ZoneModel;

@@ -18,7 +18,9 @@
 //! CFD-extracted responses to an aggregate emergency model once the plant is
 //! overloaded.
 
-use std::collections::VecDeque;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -70,7 +72,9 @@ impl HeatMatrix {
 
     /// Total (summed over lags) impact of `source` on `receiver`, K/W.
     pub fn total_response(&self, source: usize, receiver: usize) -> f64 {
-        (0..self.lags).map(|l| self.response(source, receiver, l)).sum()
+        (0..self.lags)
+            .map(|l| self.response(source, receiver, l))
+            .sum()
     }
 }
 
@@ -110,45 +114,178 @@ pub fn extract_heat_matrix(
     window: Duration,
     lag_step: Duration,
 ) -> HeatMatrix {
+    cached_extraction(config, baseline, spike, window, lag_step)
+        .matrix
+        .clone()
+}
+
+/// The full result of one extraction: the matrix plus the steady-state
+/// inlets of the operating point it was linearized around.
+struct Extraction {
+    matrix: HeatMatrix,
+    /// Steady-state inlet temperatures at `baseline`, °C, rack-major.
+    base_inlets: Vec<f64>,
+}
+
+/// Cache key: every scalar that influences the extraction, by exact bit
+/// pattern (two configs that differ in any ulp extract different matrices).
+#[derive(PartialEq, Eq, Hash)]
+struct ExtractionKey {
+    bits: Vec<u64>,
+}
+
+impl ExtractionKey {
+    fn new(
+        config: &CfdConfig,
+        baseline: &[Power],
+        spike: Power,
+        window: Duration,
+        lag_step: Duration,
+    ) -> Self {
+        let mut bits = vec![config.racks as u64, config.servers_per_rack as u64];
+        for f in [
+            config.cooling.capacity.as_watts(),
+            config.cooling.supply.as_celsius(),
+            config.cooling.derate_onset.as_celsius(),
+            config.cooling.derate_per_kelvin,
+            config.cooling.min_capacity_fraction,
+            config.per_server_flow_kg_s,
+            config.leakage_fraction,
+            config.cell_mass_kg,
+            config.plenum_mass_kg,
+            spike.as_watts(),
+            window.as_seconds(),
+            lag_step.as_seconds(),
+        ] {
+            bits.push(f.to_bits());
+        }
+        bits.extend(baseline.iter().map(|p| p.as_watts().to_bits()));
+        ExtractionKey { bits }
+    }
+}
+
+type ExtractionCache = Mutex<HashMap<ExtractionKey, Arc<OnceLock<Arc<Extraction>>>>>;
+
+static CACHE: OnceLock<ExtractionCache> = OnceLock::new();
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Hit/miss counters of the process-wide extraction cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeatMatrixCacheStats {
+    /// Extractions answered from the cache.
+    pub hits: u64,
+    /// Extractions actually computed.
+    pub misses: u64,
+}
+
+/// Snapshot of the extraction cache's hit/miss counters.
+pub fn heat_matrix_cache_stats() -> HeatMatrixCacheStats {
+    HeatMatrixCacheStats {
+        hits: CACHE_HITS.load(Ordering::Relaxed),
+        misses: CACHE_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Empties the extraction cache and resets its counters (mainly for tests
+/// and long-running processes sweeping many configurations).
+pub fn clear_heat_matrix_cache() {
+    if let Some(cache) = CACHE.get() {
+        cache.lock().expect("cache poisoned").clear();
+    }
+    CACHE_HITS.store(0, Ordering::Relaxed);
+    CACHE_MISSES.store(0, Ordering::Relaxed);
+}
+
+/// Memoized extraction: one computation per distinct (config, baseline,
+/// spike, window, lag step) for the life of the process.
+///
+/// The map lock is held only to look up the per-key cell; concurrent
+/// requests for the *same* key block on that cell's `OnceLock` instead of
+/// recomputing, while requests for different keys proceed independently.
+fn cached_extraction(
+    config: &CfdConfig,
+    baseline: &[Power],
+    spike: Power,
+    window: Duration,
+    lag_step: Duration,
+) -> Arc<Extraction> {
+    let key = ExtractionKey::new(config, baseline, spike, window, lag_step);
+    let cell = {
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().expect("cache poisoned");
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
+    };
+    let mut computed = false;
+    let extraction = cell.get_or_init(|| {
+        computed = true;
+        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        Arc::new(run_extraction(config, baseline, spike, window, lag_step))
+    });
+    if !computed {
+        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+    }
+    Arc::clone(extraction)
+}
+
+/// The actual spike-probing procedure (uncached).
+fn run_extraction(
+    config: &CfdConfig,
+    baseline: &[Power],
+    spike: Power,
+    window: Duration,
+    lag_step: Duration,
+) -> Extraction {
     assert_eq!(
         baseline.len(),
         config.server_count(),
         "one baseline power per server required"
     );
     assert!(spike > Power::ZERO, "spike power must be positive");
-    assert!(window >= lag_step, "window must cover at least one lag step");
+    assert!(
+        window >= lag_step,
+        "window must cover at least one lag step"
+    );
     let servers = config.server_count();
     let lags = (window / lag_step).round() as usize;
 
     // Steady state at the operating point.
     let mut base_model = CfdModel::new(*config);
     base_model.run_to_steady_state(baseline, 0.002, Duration::from_minutes(60.0));
-    let base_inlets: Vec<f64> = base_model
-        .inlets()
-        .iter()
-        .map(|t| t.as_celsius())
-        .collect();
+    let base_inlets: Vec<f64> = base_model.inlet_celsius().to_vec();
 
-    let mut data = vec![0.0; servers * servers * lags];
-    for source in 0..servers {
+    // Each source's probe is an independent transient from the shared
+    // steady state, so the sources parallelize with no effect on the
+    // results (each writes a disjoint block, reassembled in order).
+    let spike_watts = spike.as_watts();
+    let blocks = hbm_par::par_map((0..servers).collect(), |source| {
         let mut model = base_model.clone();
         let mut spiked = baseline.to_vec();
         spiked[source] += spike;
+        let mut block = vec![0.0; servers * lags];
         for lag in 0..lags {
-            let powers = if lag == 0 { &spiked } else { &baseline.to_vec() };
+            let powers: &[Power] = if lag == 0 { &spiked } else { baseline };
             model.step(powers, lag_step);
-            for (receiver, t) in model.inlets().iter().enumerate() {
-                let dt = t.as_celsius() - base_inlets[receiver];
-                data[(source * servers + receiver) * lags + lag] = dt / spike.as_watts();
+            for (receiver, t) in model.inlet_celsius().iter().enumerate() {
+                let dt = t - base_inlets[receiver];
+                block[receiver * lags + lag] = dt / spike_watts;
             }
         }
+        block
+    });
+    let mut data = Vec::with_capacity(servers * servers * lags);
+    for block in blocks {
+        data.extend_from_slice(&block);
     }
 
-    HeatMatrix {
-        servers,
-        lags,
-        lag_step,
-        data,
+    Extraction {
+        matrix: HeatMatrix {
+            servers,
+            lags,
+            lag_step,
+            data,
+        },
+        base_inlets,
     }
 }
 
@@ -158,15 +295,36 @@ pub fn extract_heat_matrix(
 /// convolution of per-server power *deviations* with the impulse responses.
 /// Temperatures are floored at the supply setpoint (the AC never cools below
 /// it, so neither does the linearization).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct HeatMatrixModel {
     matrix: HeatMatrix,
+    /// The matrix's responses transposed to `[receiver][lag][source]`, so
+    /// the convolution's inner (source) loop walks contiguous memory.
+    resp_by_receiver: Vec<f64>,
     baseline_powers: Vec<Power>,
     baseline_inlets: Vec<f64>,
     supply_celsius: f64,
-    /// Most recent power deviations first truncated to `lags` entries;
-    /// `history[age][server]`, watts.
-    history: VecDeque<Vec<f64>>,
+    /// Ring buffer of power deviations, `lags × servers` watts; slot
+    /// `head` holds the newest step, ages increase from there.
+    history: Vec<f64>,
+    /// Ring slot of the newest deviation.
+    head: usize,
+    /// Number of valid history steps (≤ lag count).
+    filled: usize,
+}
+
+impl PartialEq for HeatMatrixModel {
+    /// Compares logical state: two models are equal when they would
+    /// predict identically, regardless of where the ring buffer's head
+    /// happens to sit.
+    fn eq(&self, other: &Self) -> bool {
+        self.matrix == other.matrix
+            && self.baseline_powers == other.baseline_powers
+            && self.baseline_inlets == other.baseline_inlets
+            && self.supply_celsius == other.supply_celsius
+            && self.filled == other.filled
+            && (0..self.filled).all(|age| self.history_slice(age) == other.history_slice(age))
+    }
 }
 
 impl HeatMatrixModel {
@@ -184,17 +342,58 @@ impl HeatMatrixModel {
     ) -> Self {
         assert_eq!(baseline_powers.len(), matrix.server_count());
         assert_eq!(baseline_inlets.len(), matrix.server_count());
-        HeatMatrixModel {
+        Self::from_parts(
             matrix,
             baseline_powers,
-            baseline_inlets: baseline_inlets.iter().map(|t| t.as_celsius()).collect(),
-            supply_celsius: supply.as_celsius(),
-            history: VecDeque::new(),
+            baseline_inlets.iter().map(|t| t.as_celsius()).collect(),
+            supply.as_celsius(),
+        )
+    }
+
+    fn from_parts(
+        matrix: HeatMatrix,
+        baseline_powers: Vec<Power>,
+        baseline_inlets: Vec<f64>,
+        supply_celsius: f64,
+    ) -> Self {
+        let n = matrix.server_count();
+        let lags = matrix.lag_count();
+        // Transpose [source][receiver][lag] → [receiver][lag][source]; pure
+        // data movement, every response value is unchanged.
+        let mut resp_by_receiver = vec![0.0; n * n * lags];
+        for source in 0..n {
+            for receiver in 0..n {
+                for lag in 0..lags {
+                    resp_by_receiver[(receiver * lags + lag) * n + source] =
+                        matrix.data[(source * n + receiver) * lags + lag];
+                }
+            }
         }
+        HeatMatrixModel {
+            matrix,
+            resp_by_receiver,
+            baseline_powers,
+            baseline_inlets,
+            supply_celsius,
+            history: vec![0.0; lags * n],
+            head: 0,
+            filled: 0,
+        }
+    }
+
+    /// The deviation vector recorded `age` steps ago (0 = newest).
+    fn history_slice(&self, age: usize) -> &[f64] {
+        let n = self.matrix.server_count();
+        let slot = (self.head + age) % self.matrix.lag_count();
+        &self.history[slot * n..(slot + 1) * n]
     }
 
     /// Convenience constructor: extracts the matrix and records the baseline
     /// in one go.
+    ///
+    /// The extraction goes through the process-wide cache, and the cached
+    /// steady-state inlets double as the model's baseline — building many
+    /// models around the same operating point costs one CFD run total.
     ///
     /// # Panics
     ///
@@ -206,14 +405,12 @@ impl HeatMatrixModel {
         window: Duration,
         lag_step: Duration,
     ) -> Self {
-        let matrix = extract_heat_matrix(config, baseline, spike, window, lag_step);
-        let mut model = CfdModel::new(*config);
-        model.run_to_steady_state(baseline, 0.002, Duration::from_minutes(60.0));
-        HeatMatrixModel::new(
-            matrix,
+        let extraction = cached_extraction(config, baseline, spike, window, lag_step);
+        Self::from_parts(
+            extraction.matrix.clone(),
             baseline.to_vec(),
-            model.inlets(),
-            config.cooling.supply,
+            extraction.base_inlets.clone(),
+            config.cooling.supply.as_celsius(),
         )
     }
 
@@ -231,21 +428,31 @@ impl HeatMatrixModel {
     pub fn step(&mut self, powers: &[Power]) -> Vec<Temperature> {
         let n = self.matrix.server_count();
         assert_eq!(powers.len(), n, "one power per server required");
-        let deviation: Vec<f64> = powers
-            .iter()
-            .zip(&self.baseline_powers)
-            .map(|(&p, &b)| (p - b).as_watts())
-            .collect();
-        self.history.push_front(deviation);
-        self.history.truncate(self.matrix.lag_count());
+        let lags = self.matrix.lag_count();
 
+        // Rotate the ring backward: yesterday's newest slot becomes age 1.
+        self.head = (self.head + lags - 1) % lags;
+        let newest = &mut self.history[self.head * n..(self.head + 1) * n];
+        for (slot, (&p, &b)) in newest
+            .iter_mut()
+            .zip(powers.iter().zip(&self.baseline_powers))
+        {
+            *slot = (p - b).as_watts();
+        }
+        self.filled = (self.filled + 1).min(lags);
+
+        // Same accumulation order as the original nested-deque version:
+        // receiver, then age ascending, then source ascending, skipping
+        // zero deviations — so results agree bit for bit.
         (0..n)
             .map(|receiver| {
                 let mut t = self.baseline_inlets[receiver];
-                for (age, dev) in self.history.iter().enumerate() {
+                for age in 0..self.filled {
+                    let dev = self.history_slice(age);
+                    let resp = &self.resp_by_receiver[(receiver * lags + age) * n..][..n];
                     for (source, &dw) in dev.iter().enumerate() {
                         if dw != 0.0 {
-                            t += self.matrix.response(source, receiver, age) * dw;
+                            t += resp[source] * dw;
                         }
                     }
                 }
@@ -263,7 +470,9 @@ impl HeatMatrixModel {
 
     /// Clears the convolution history (back to the operating point).
     pub fn reset(&mut self) {
-        self.history.clear();
+        // Slots are only read up to `filled` ages and rewritten as the
+        // ring refills, so dropping the count is a complete reset.
+        self.filled = 0;
     }
 }
 
@@ -404,6 +613,80 @@ mod tests {
             (d2 - 2.0 * d1).abs() < 1e-9,
             "doubled deviation must double the predicted rise: {d1} vs {d2}"
         );
+    }
+
+    #[test]
+    fn second_extraction_with_identical_config_hits_the_cache() {
+        let config = small_config();
+        let baseline = small_baseline();
+        // Distinct spike so this test owns its cache entry regardless of
+        // what other tests in the process have extracted.
+        let spike = Power::from_watts(97.0);
+        let window = Duration::from_minutes(5.0);
+        let lag = Duration::from_minutes(1.0);
+
+        let first = extract_heat_matrix(&config, &baseline, spike, window, lag);
+        let before = heat_matrix_cache_stats();
+        let started = std::time::Instant::now();
+        let second = extract_heat_matrix(&config, &baseline, spike, window, lag);
+        let elapsed = started.elapsed();
+        let after = heat_matrix_cache_stats();
+
+        assert_eq!(first, second, "cached result must be identical");
+        assert_eq!(
+            after.misses, before.misses,
+            "second call must not recompute"
+        );
+        assert_eq!(after.hits, before.hits + 1);
+        assert!(
+            elapsed < std::time::Duration::from_millis(1),
+            "cache hit took {elapsed:?}, expected < 1 ms"
+        );
+    }
+
+    #[test]
+    fn different_baselines_get_different_cache_entries() {
+        let config = small_config();
+        let spike = Power::from_watts(103.0);
+        let window = Duration::from_minutes(5.0);
+        let lag = Duration::from_minutes(1.0);
+        let a = extract_heat_matrix(&config, &[Power::from_watts(140.0); 4], spike, window, lag);
+        let before = heat_matrix_cache_stats();
+        let b = extract_heat_matrix(&config, &[Power::from_watts(160.0); 4], spike, window, lag);
+        let after = heat_matrix_cache_stats();
+        assert_eq!(after.misses, before.misses + 1, "new baseline must compute");
+        assert_ne!(a, b, "different operating points give different matrices");
+    }
+
+    #[test]
+    fn from_cfd_reuses_the_extraction_cache() {
+        let config = small_config();
+        let baseline = small_baseline();
+        let spike = Power::from_watts(111.0);
+        let window = Duration::from_minutes(5.0);
+        let lag = Duration::from_minutes(1.0);
+        let first = HeatMatrixModel::from_cfd(&config, &baseline, spike, window, lag);
+        let before = heat_matrix_cache_stats();
+        let second = HeatMatrixModel::from_cfd(&config, &baseline, spike, window, lag);
+        let after = heat_matrix_cache_stats();
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn cache_clear_forces_recomputation() {
+        let config = small_config();
+        let baseline = small_baseline();
+        let spike = Power::from_watts(119.0);
+        let window = Duration::from_minutes(5.0);
+        let lag = Duration::from_minutes(1.0);
+        let a = extract_heat_matrix(&config, &baseline, spike, window, lag);
+        clear_heat_matrix_cache();
+        let before = heat_matrix_cache_stats();
+        let b = extract_heat_matrix(&config, &baseline, spike, window, lag);
+        let after = heat_matrix_cache_stats();
+        assert_eq!(after.misses, before.misses + 1, "cleared entry recomputes");
+        assert_eq!(a, b, "recomputation is deterministic");
     }
 
     #[test]

@@ -121,7 +121,9 @@ impl ZoneModel {
 
     fn advance_seconds(&mut self, it_load: Power, h: f64) {
         let capacity = self.cooling.effective_capacity(self.inlet);
-        let rise = (self.inlet - self.cooling.supply).positive_part().as_celsius();
+        let rise = (self.inlet - self.cooling.supply)
+            .positive_part()
+            .as_celsius();
         let removable = it_load + Power::from_watts(self.pulldown_w_per_k * rise);
         let q_cool = removable.min(capacity);
         let net = it_load - q_cool; // may be negative (cooling down)
@@ -138,7 +140,9 @@ impl ZoneModel {
     /// Panics if `overload` is non-positive.
     pub fn time_to_reach(&self, threshold: Temperature, overload: Power) -> Duration {
         assert!(overload > Power::ZERO, "overload must be positive");
-        let margin = (threshold - self.cooling.supply).positive_part().as_celsius();
+        let margin = (threshold - self.cooling.supply)
+            .positive_part()
+            .as_celsius();
         Duration::from_seconds(self.heat_capacity_j_per_k * margin / overload.as_watts())
     }
 

@@ -1,0 +1,131 @@
+//! Equivalence of the flat-buffer thermal kernels with the original
+//! nested-`Vec` implementations.
+//!
+//! The files in `tests/golden/` were generated (via `examples/gen_golden.rs`)
+//! from the pre-rewrite implementations that stored CFD state as
+//! `Vec<Vec<f64>>` and matrix history as `VecDeque<Vec<f64>>`. The rewritten
+//! kernels must reproduce every recorded temperature to 1e-12 over a
+//! 100-step trace, so any change to expression order or indexing that
+//! perturbs the numerics is caught here.
+
+use hbm_thermal::{extract_heat_matrix, CfdConfig, CfdModel, CoolingSystem, HeatMatrixModel};
+use hbm_units::{Duration, Power, Temperature};
+
+const TOL: f64 = 1e-12;
+
+/// Same dyadic-rational drive pattern as `examples/gen_golden.rs`.
+fn pattern_power(server: usize, step: usize) -> Power {
+    let phase = (server * 7 + step * 13) % 16;
+    Power::from_watts(150.0 + 50.0 * phase as f64 / 16.0)
+}
+
+fn small_config() -> CfdConfig {
+    CfdConfig {
+        racks: 1,
+        servers_per_rack: 4,
+        cooling: CoolingSystem {
+            capacity: Power::from_kilowatts(0.8),
+            supply: Temperature::from_celsius(27.0),
+            derate_onset: Temperature::from_celsius(33.0),
+            derate_per_kelvin: 0.05,
+            min_capacity_fraction: 0.65,
+        },
+        per_server_flow_kg_s: 0.018,
+        leakage_fraction: 0.06,
+        cell_mass_kg: 0.5,
+        plenum_mass_kg: 1.0,
+    }
+}
+
+/// Parses a golden file: `#` lines are comments, every other line one f64.
+fn parse_golden(text: &str) -> Vec<f64> {
+    text.lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| l.parse::<f64>().expect("malformed golden value"))
+        .collect()
+}
+
+fn check_cfd_trace(config: CfdConfig, golden: &str, label: &str) {
+    let golden = parse_golden(golden);
+    let n = config.server_count();
+    assert_eq!(golden.len(), n * 100, "{label}: golden trace length");
+    let mut cfd = CfdModel::new(config);
+    let mut idx = 0;
+    for k in 0..100 {
+        let powers: Vec<Power> = (0..n).map(|s| pattern_power(s, k)).collect();
+        cfd.step(&powers, Duration::from_minutes(0.5));
+        for (s, t) in cfd.inlets().iter().enumerate() {
+            let want = golden[idx];
+            let got = t.as_celsius();
+            assert!(
+                (got - want).abs() <= TOL,
+                "{label}: step {k} server {s}: got {got:.17e}, golden {want:.17e}, \
+                 diff {:.3e}",
+                (got - want).abs()
+            );
+            idx += 1;
+        }
+    }
+}
+
+#[test]
+fn cfd_matches_nested_vec_golden_paper_default() {
+    check_cfd_trace(
+        CfdConfig::paper_default(),
+        include_str!("golden/cfd_paper_default.txt"),
+        "paper_default",
+    );
+}
+
+#[test]
+fn cfd_matches_nested_vec_golden_prototype() {
+    check_cfd_trace(
+        CfdConfig::prototype(),
+        include_str!("golden/cfd_prototype.txt"),
+        "prototype",
+    );
+}
+
+#[test]
+fn matrix_extraction_and_model_match_nested_vec_golden() {
+    let golden = parse_golden(include_str!("golden/matrix_small.txt"));
+    let config = small_config();
+    let baseline = vec![Power::from_watts(150.0); 4];
+    let spike = Power::from_watts(120.0);
+    let window = Duration::from_minutes(5.0);
+    let lag_step = Duration::from_minutes(1.0);
+
+    let matrix = extract_heat_matrix(&config, &baseline, spike, window, lag_step);
+    assert_eq!(matrix.lag_count(), 5);
+    let n_matrix = 4 * 4 * 5;
+    assert_eq!(golden.len(), n_matrix + 4 * 100, "golden trace length");
+
+    let mut idx = 0;
+    for s in 0..4 {
+        for r in 0..4 {
+            for l in 0..5 {
+                let want = golden[idx];
+                let got = matrix.response(s, r, l);
+                assert!(
+                    (got - want).abs() <= TOL,
+                    "matrix[{s}][{r}][{l}]: got {got:.17e}, golden {want:.17e}"
+                );
+                idx += 1;
+            }
+        }
+    }
+
+    let mut model = HeatMatrixModel::from_cfd(&config, &baseline, spike, window, lag_step);
+    for k in 0..100 {
+        let powers: Vec<Power> = (0..4).map(|s| pattern_power(s, k)).collect();
+        for (s, t) in model.step(&powers).iter().enumerate() {
+            let want = golden[idx];
+            let got = t.as_celsius();
+            assert!(
+                (got - want).abs() <= TOL,
+                "model step {k} server {s}: got {got:.17e}, golden {want:.17e}"
+            );
+            idx += 1;
+        }
+    }
+}

@@ -197,9 +197,7 @@ mod tests {
         let e = Energy::from_kilowatt_hours(0.05);
         assert!((e.as_watt_hours() - 50.0).abs() < 1e-12);
         assert!((e.as_joules() - 180_000.0).abs() < 1e-6);
-        assert!(
-            (Energy::from_joules(3_600_000.0).as_kilowatt_hours() - 1.0).abs() < 1e-12
-        );
+        assert!((Energy::from_joules(3_600_000.0).as_kilowatt_hours() - 1.0).abs() < 1e-12);
         assert!((Energy::from_watt_hours(200.0).as_kilowatt_hours() - 0.2).abs() < 1e-12);
     }
 
@@ -226,8 +224,7 @@ mod tests {
         let total: Energy = (0..4).map(|_| Energy::from_kilowatt_hours(0.05)).sum();
         assert!((total.as_kilowatt_hours() - 0.2).abs() < 1e-12);
         assert_eq!(
-            Energy::from_kilowatt_hours(0.5)
-                .clamp(Energy::ZERO, Energy::from_kilowatt_hours(0.2)),
+            Energy::from_kilowatt_hours(0.5).clamp(Energy::ZERO, Energy::from_kilowatt_hours(0.2)),
             Energy::from_kilowatt_hours(0.2)
         );
     }

@@ -245,7 +245,9 @@ mod tests {
             TemperatureDelta::ZERO
         );
         assert_eq!(
-            TemperatureDelta::from_celsius(3.0).positive_part().as_celsius(),
+            TemperatureDelta::from_celsius(3.0)
+                .positive_part()
+                .as_celsius(),
             3.0
         );
     }

@@ -149,11 +149,8 @@ mod tests {
 
     #[test]
     fn round_trips_through_csv() {
-        let original = crate::generate(
-            &crate::TraceConfig::paper_default_year(5).with_len(100),
-        );
-        let parsed =
-            PowerTrace::from_csv_str(&original.to_csv_string(), minute()).unwrap();
+        let original = crate::generate(&crate::TraceConfig::paper_default_year(5).with_len(100));
+        let parsed = PowerTrace::from_csv_str(&original.to_csv_string(), minute()).unwrap();
         assert_eq!(parsed.len(), original.len());
         for k in 0..original.len() {
             assert!(
@@ -180,9 +177,7 @@ mod tests {
         let dir = std::env::temp_dir().join("hbm_trace_io_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("trace.csv");
-        let original = crate::generate(
-            &crate::TraceConfig::paper_default_year(9).with_len(50),
-        );
+        let original = crate::generate(&crate::TraceConfig::paper_default_year(9).with_len(50));
         original.to_csv_file(&path).unwrap();
         let parsed = PowerTrace::from_csv_file(&path, minute()).unwrap();
         assert_eq!(parsed.len(), 50);

@@ -127,9 +127,11 @@ mod tests {
 
     #[test]
     fn matches_analytic_model_under_the_emergency_cap() {
-        // The headline anchor: 60 % power cap ≈ 4× latency.
+        // The headline anchor: 60 % power cap ≈ 4× latency. The t95
+        // estimator converges slowly at this utilization, so this check
+        // uses a larger sample than the full-power one.
         let model = LatencyModel::web_service();
-        let o = simulate(&model, 0.6, model.rated_load(), 50_000, 7);
+        let o = simulate(&model, 0.6, model.rated_load(), 500_000, 7);
         let analytic = model.t95_millis(0.6, model.rated_load());
         assert!(
             (o.t95_ms - analytic).abs() / analytic < 0.15,

@@ -155,10 +155,7 @@ impl PowerTrace {
 
     /// Maximum power over the trace.
     pub fn peak(&self) -> Power {
-        self.samples
-            .iter()
-            .copied()
-            .fold(Power::ZERO, Power::max)
+        self.samples.iter().copied().fold(Power::ZERO, Power::max)
     }
 
     /// Minimum power over the trace.
@@ -207,11 +204,7 @@ impl PowerTrace {
 
     /// Fraction of slots with power at or above `threshold`.
     pub fn fraction_at_or_above(&self, threshold: Power) -> f64 {
-        let n = self
-            .samples
-            .iter()
-            .filter(|&&p| p >= threshold)
-            .count();
+        let n = self.samples.iter().filter(|&&p| p >= threshold).count();
         n as f64 / self.samples.len() as f64
     }
 }
@@ -259,10 +252,13 @@ pub fn generate(config: &TraceConfig) -> PowerTrace {
         let weekday = ((hours / 24.0).floor() as u64) % 7;
 
         let diurnal = params.diurnal(day_phase);
-        let weekly = if weekday >= 5 { params.weekend_factor } else { 1.0 };
+        let weekly = if weekday >= 5 {
+            params.weekend_factor
+        } else {
+            1.0
+        };
 
-        ar = params.ar_coeff * ar
-            + params.ar_sigma * rng.random::<f64>().mul_add(2.0, -1.0);
+        ar = params.ar_coeff * ar + params.ar_sigma * rng.random::<f64>().mul_add(2.0, -1.0);
         if rng.random::<f64>() < params.burst_rate_per_slot * slot_hours * 60.0 {
             burst += params.burst_height * (0.5 + rng.random::<f64>());
         }
@@ -272,8 +268,7 @@ pub fn generate(config: &TraceConfig) -> PowerTrace {
         raw.push(Power::from_watts(v.max(0.0)));
     }
 
-    PowerTrace::new(config.slot, raw)
-        .rescale(config.mean, config.peak)
+    PowerTrace::new(config.slot, raw).rescale(config.mean, config.peak)
 }
 
 fn shape_salt(shape: TraceShape) -> u64 {

@@ -16,7 +16,10 @@ fn main() {
     // A wide-area interruption = fewer than half the sites up.
     let report = coordinated_one_shot(sites, 1, 3 * 24 * 60, 0.5);
 
-    println!("sites taken down at least once: {}/{sites}", report.sites_hit);
+    println!(
+        "sites taken down at least once: {}/{sites}",
+        report.sites_hit
+    );
     println!(
         "slots with ≥1 site down:        {:>6} min",
         report.any_down_slots

@@ -77,9 +77,7 @@ fn main() {
         readings.push(reading_for(actual, metered, r.inlet, 0.018));
     }
     let suspicious = calorimeter.flag_servers(&readings);
-    println!(
-        "calorimetry: servers {suspicious:?} emit more heat than their meters account for"
-    );
+    println!("calorimetry: servers {suspicious:?} emit more heat than their meters account for");
     assert_eq!(suspicious.len(), config.attacker_servers);
     println!("→ with outlet airflow metering, the attacker is identified, not just detected.");
 }

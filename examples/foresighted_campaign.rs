@@ -59,6 +59,9 @@ fn main() {
                 AttackAction::Standby => '.',
             })
             .collect();
-        println!("  battery {:>3.0} %  {line}", 100.0 * policy.battery_bin_centers()[b]);
+        println!(
+            "  battery {:>3.0} %  {line}",
+            100.0 * policy.battery_bin_centers()[b]
+        );
     }
 }

@@ -28,7 +28,11 @@ fn main() {
         .expect("the attack should launch within three days");
 
     println!("minute  metered  actual  inlet    state");
-    for (i, r) in records[trigger.saturating_sub(3)..].iter().take(14).enumerate() {
+    for (i, r) in records[trigger.saturating_sub(3)..]
+        .iter()
+        .take(14)
+        .enumerate()
+    {
         let state = if r.outage {
             "OUTAGE"
         } else if r.capping {

@@ -23,7 +23,10 @@ fn main() {
 
     let m = &report.metrics;
     println!("== one week of `{}` attacks ==", report.policy);
-    println!("attack time          {:>8.2} h/day", m.attack_hours_per_day());
+    println!(
+        "attack time          {:>8.2} h/day",
+        m.attack_hours_per_day()
+    );
     println!(
         "thermal emergencies  {:>8} events, {:.3} % of the week",
         m.emergency_events,

@@ -1,0 +1,45 @@
+#!/bin/sh
+# Runs the thermal hot-path benchmarks and exports the results as
+# BENCH_thermal.json (a JSON array of {name, median_ns, mean_ns, min_ns,
+# samples} objects), then prints the headline comparisons:
+#
+#   * CFD substep: flat buffers vs the nested-Vec baseline
+#   * heat-matrix model step
+#   * heat-matrix extraction: cold vs memoized (cached)
+#
+# Usage: scripts/bench_summary.sh [output.json]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+out=${1:-"$repo_root/BENCH_thermal.json"}
+
+cd "$repo_root"
+BENCH_JSON="$out" cargo bench -p hbm-bench --bench bench_thermal
+
+echo ""
+echo "wrote $out"
+
+# Headline ratios, straight from the JSON (median_ns fields).
+awk -F'"' '
+    /"name"/ {
+        # With FS set to a double quote: $4 = name, $7 = ": <median_ns>, ".
+        name = $4
+        split($7, parts, /[ :,]+/)
+        median[name] = parts[2] + 0
+    }
+    END {
+        flat = median["cfd_step_one_minute_40_servers"]
+        nested = median["cfd_step_one_minute_40_servers_nested_baseline"]
+        if (flat > 0 && nested > 0)
+            printf "CFD substep: flat %.1f us vs nested %.1f us  ->  %.2fx faster\n",
+                flat / 1000, nested / 1000, nested / flat
+        cold = median["matrix/heat_matrix_extraction_4_servers_cold"]
+        cached = median["matrix/heat_matrix_extraction_4_servers_cached"]
+        if (cold > 0 && cached > 0)
+            printf "heat-matrix extraction: cold %.1f us vs cached %.3f us  ->  %.0fx faster\n",
+                cold / 1000, cached / 1000, cold / cached
+        step = median["heat_matrix_model_step_40_servers"]
+        if (step > 0)
+            printf "heat-matrix model step: %.1f us\n", step / 1000
+    }
+' "$out"

@@ -173,7 +173,9 @@ fn sla_monitor_distinguishes_attack_from_quiet_weeks() {
         alarmed
     };
 
-    assert!(!run(Box::new(MyopicPolicy::new(Power::from_kilowatts(99.0)))));
+    assert!(!run(Box::new(MyopicPolicy::new(Power::from_kilowatts(
+        99.0
+    )))));
     assert!(run(Box::new(MyopicPolicy::new(Power::from_kilowatts(7.4)))));
 }
 

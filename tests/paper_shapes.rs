@@ -74,8 +74,7 @@ fn foresighted_saturates_instead_of_collapsing() {
     let aggressive = run_foresighted(30.0);
     assert!(moderate.metrics.emergency_events > 0);
     assert!(
-        aggressive.metrics.emergency_fraction()
-            >= moderate.metrics.emergency_fraction() * 0.6,
+        aggressive.metrics.emergency_fraction() >= moderate.metrics.emergency_fraction() * 0.6,
         "more aggressive Foresighted must not collapse: {} vs {}",
         aggressive.metrics.emergency_fraction(),
         moderate.metrics.emergency_fraction()
@@ -126,8 +125,8 @@ fn overload_crossing_times_match_figure_11a() {
 fn bigger_battery_more_emergencies() {
     use hbm_units::Energy;
     let run = |kwh: f64| {
-        let config = ColoConfig::paper_default()
-            .with_battery_capacity(Energy::from_kilowatt_hours(kwh));
+        let config =
+            ColoConfig::paper_default().with_battery_capacity(Energy::from_kilowatt_hours(kwh));
         let policy = MyopicPolicy::new(Power::from_kilowatts(7.4));
         let mut sim = Simulation::new(config, Box::new(policy), 1);
         sim.run(MEASURE_DAYS * 1440)
@@ -147,8 +146,8 @@ fn bigger_battery_more_emergencies() {
 #[test]
 fn side_channel_noise_blunts_the_attack() {
     let run = |noise_kw: f64| {
-        let config = ColoConfig::paper_default()
-            .with_side_channel_noise(Power::from_kilowatts(noise_kw));
+        let config =
+            ColoConfig::paper_default().with_side_channel_noise(Power::from_kilowatts(noise_kw));
         let policy = MyopicPolicy::new(Power::from_kilowatts(7.4));
         let mut sim = Simulation::new(config, Box::new(policy), 1);
         sim.run(MEASURE_DAYS * 1440)

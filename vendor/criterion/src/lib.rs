@@ -1,0 +1,332 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! A real (if simple) wall-clock benchmark harness: each benchmark is
+//! warmed up, then timed over `sample_size` samples, and the median /
+//! mean / min per-iteration times are printed. Statistical analysis,
+//! HTML reports, and CLI filtering are out of scope.
+//!
+//! Set `BENCH_JSON=/path/out.json` to also write every result as a JSON
+//! array of `{name, median_ns, mean_ns, min_ns, samples}` objects —
+//! `scripts/bench_summary.sh` uses this to build `BENCH_thermal.json`.
+
+use std::time::{Duration, Instant};
+
+/// One finished benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id, e.g. `group/function`.
+    pub name: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample's per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    default_sample_size: usize,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 30,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IdLike, mut f: F) {
+        let name = id.into_id();
+        let m = run_benchmark(&name, self.default_sample_size, &mut f);
+        self.results.push(m);
+    }
+
+    fn finalize(&self) {
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if !path.is_empty() {
+                if let Err(e) = std::fs::write(&path, to_json(&self.results)) {
+                    eprintln!("warning: could not write BENCH_JSON {path}: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IdLike, mut f: F) {
+        let name = format!("{}/{}", self.name, id.into_id());
+        let n = self.sample_size.unwrap_or(self.parent.default_sample_size);
+        let m = run_benchmark(&name, n, &mut f);
+        self.parent.results.push(m);
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IdLike,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility; a no-op).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier with a parameter, e.g. `BenchmarkId::new("sim", 7)`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter into one id.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IdLike {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IdLike for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IdLike for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IdLike for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+/// Only a hint in this stand-in.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state; setup runs once per iteration.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+}
+
+/// Passed to each benchmark closure; owns the timing loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with fresh input from `setup` each iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) -> Measurement {
+    // Calibrate: find an iteration count whose sample takes ~2 ms, so the
+    // per-sample timer error stays small without long runs.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+    let mean_ns = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min_ns = per_iter_ns[0];
+    println!(
+        "bench {name:<50} median {:>12}  mean {:>12}  min {:>12}  ({} samples x {} iters)",
+        fmt_ns(median_ns),
+        fmt_ns(mean_ns),
+        fmt_ns(min_ns),
+        samples,
+        iters
+    );
+    Measurement {
+        name: name.to_string(),
+        median_ns,
+        mean_ns,
+        min_ns,
+        samples,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn to_json(results: &[Measurement]) -> String {
+    let mut out = String::from("[\n");
+    for (i, m) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}}}",
+            m.name.replace('\\', "\\\\").replace('"', "\\\""),
+            m.median_ns,
+            m.mean_ns,
+            m.min_ns,
+            m.samples
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Declares a benchmark group: `criterion_group!(benches, f1, f2);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`: `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Benchmark binaries receive harness CLI flags (e.g. --bench);
+            // this stand-in runs everything and ignores them.
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            $crate::finalize(&c);
+        }
+    };
+}
+
+/// Called by [`criterion_main!`] after all groups ran; writes `BENCH_JSON`.
+pub fn finalize(c: &Criterion) {
+    c.finalize();
+}
+
+/// Re-export so existing `use criterion::black_box` imports keep working.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5);
+        g.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).map(|x| x.wrapping_mul(3)).sum::<u64>())
+        });
+        g.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn json_escapes_and_formats() {
+        let m = Measurement {
+            name: "a\"b".into(),
+            median_ns: 1.5,
+            mean_ns: 2.5,
+            min_ns: 1.0,
+            samples: 3,
+        };
+        let j = to_json(&[m]);
+        assert!(j.contains("a\\\"b"));
+        assert!(j.starts_with("[\n"));
+        assert!(j.trim_end().ends_with(']'));
+    }
+}

@@ -1,0 +1,475 @@
+//! Offline stand-in for `proptest` 1.x.
+//!
+//! Provides the subset the workspace's property tests use: the
+//! [`proptest!`] macro, range/tuple/`Just`/`prop_oneof!`/collection
+//! strategies, `prop_map`, `ProptestConfig::with_cases`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are generated from a
+//! deterministic per-test RNG (boundary values first, then random); there
+//! is no shrinking — failures report the generated inputs instead.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Per-test case source: deterministic RNG plus the case index, so
+/// strategies can emit boundary values on the first cases.
+pub struct TestRunner {
+    rng: StdRng,
+    case: u32,
+}
+
+impl TestRunner {
+    /// Creates a runner for one named test.
+    pub fn new(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h),
+            case: 0,
+        }
+    }
+
+    /// Marks the start of the next case.
+    pub fn next_case(&mut self) {
+        self.case += 1;
+    }
+
+    /// The current case index (0-based).
+    pub fn case(&self) -> u32 {
+        self.case
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Error carried out of a failing property body.
+pub type TestCaseError = String;
+
+/// Run-count configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values for one property argument.
+///
+/// Object-safe core; combinators live on [`StrategyExt`].
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value for the given runner state.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+        (**self).generate(runner)
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        (**self).generate(runner)
+    }
+}
+
+/// Combinators over [`Strategy`] (blanket-implemented).
+pub trait StrategyExt: Strategy + Sized {
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+/// See [`StrategyExt::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// Constant strategy: always yields a clone of the value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, runner: &mut TestRunner) -> f64 {
+        match runner.case() {
+            // Boundary emphasis: the exact start, then just inside the end.
+            0 => self.start,
+            1 => {
+                let span = self.end - self.start;
+                self.start + span * (1.0 - 1e-9)
+            }
+            _ => runner.rng().random_range(self.start..self.end),
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, runner: &mut TestRunner) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        match runner.case() {
+            0 => lo,
+            1 => hi,
+            _ => {
+                let u: f64 = runner.rng().random();
+                // 53-bit grid over the closed interval.
+                lo + u * (hi - lo)
+            }
+        }
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                match runner.case() {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => runner.rng().random_range(self.start..self.end),
+                }
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(usize, u64, u32, u8, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        let i = if (runner.case() as usize) < self.options.len() {
+            // Early cases visit each arm once.
+            runner.case() as usize
+        } else {
+            runner.rng().random_range(0..self.options.len())
+        };
+        self.options[i].generate(runner)
+    }
+}
+
+/// Size specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Namespace mirror of `proptest::prop`.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRunner};
+        use rand::RngExt;
+
+        /// Strategy for `Vec`s of `element` with a length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+                let len = match runner.case() {
+                    // Boundary emphasis on the shortest and longest lengths.
+                    0 => self.size.lo,
+                    1 => self.size.hi - 1,
+                    _ => runner.rng().random_range(self.size.lo..self.size.hi),
+                };
+                (0..len).map(|_| self.element.generate(runner)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, StrategyExt, TestCaseError, TestRunner, Union,
+    };
+}
+
+/// Uniform choice among strategy arms of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(Box::new($arm) as Box<dyn $crate::Strategy<Value = _>>),+])
+    };
+}
+
+/// Asserts inside a property body; failure aborts only the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!("{} ({}:{})", format!($($fmt)+), file!(), line!()));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?} ({}:{})",
+                format!($($fmt)+),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: {} != {}\n  both: {:?} ({}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Declares property tests. Mirrors proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0.0..1.0f64, n in 1usize..10) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(@impl ($config) $($(#[$meta])* fn $name($($arg in $strategy),+) $body)*);
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($(#[$meta])* fn $name($($arg in $strategy),+) $body)*);
+    };
+    (@impl ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut runner = $crate::TestRunner::new(concat!(module_path!(), "::", stringify!($name)));
+                for _ in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut runner);)+
+                    let case_desc = [
+                        $(format!("  {} = {:?}", stringify!($arg), &$arg)),+
+                    ].join("\n");
+                    let result: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = result {
+                        panic!(
+                            "property '{}' failed at case {}:\n{}\ninputs:\n{}",
+                            stringify!($name),
+                            runner.case(),
+                            e,
+                            case_desc
+                        );
+                    }
+                    runner.next_case();
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn unit() -> impl Strategy<Value = f64> {
+        0.0..1.0f64
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in unit(), n in 1usize..10) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0.0..1.0f64, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn tuples_and_map(s in (0.0..1.0f64, 1u32..4).prop_map(|(a, b)| a * b as f64)) {
+            prop_assert!((0.0..4.0).contains(&s));
+        }
+
+        #[test]
+        fn oneof_picks_arms(k in prop_oneof![Just(1usize), Just(2usize)]) {
+            prop_assert!(k == 1usize || k == 2usize);
+        }
+    }
+
+    #[test]
+    fn boundary_cases_come_first() {
+        let mut runner = TestRunner::new("boundary");
+        let s = 5.0..10.0f64;
+        assert_eq!(Strategy::generate(&s, &mut runner), 5.0);
+        runner.next_case();
+        assert!(Strategy::generate(&s, &mut runner) > 9.99);
+    }
+}

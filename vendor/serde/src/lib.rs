@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde`: marker traits plus re-exported no-op
+//! derive macros. Like real serde, the derive macro and the trait share a
+//! path (`serde::Serialize` names both), so `use serde::{Deserialize,
+//! Serialize}` works unchanged.
+//!
+//! The blanket impls make any `T: Serialize`-style bound satisfiable; the
+//! workspace itself never serializes, it only derives for downstream users.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Owned-deserialization marker.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

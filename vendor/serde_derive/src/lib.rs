@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`: the derive macros parse nothing and
+//! emit nothing. The workspace only *derives* the serde traits (for
+//! downstream users of the real crates); it never serializes, so empty
+//! expansions are sufficient and keep the build fully offline.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
