@@ -56,6 +56,22 @@ fn cfd_model(c: &mut Criterion) {
         });
     });
 
+    // Same kernel with the telemetry spans live: the delta against the run
+    // above is the full cost of `--timings` instrumentation (one clock
+    // read pair plus a mutex-guarded map update per step).
+    c.bench_function("cfd_step_one_minute_40_servers_timed", |b| {
+        let config = CfdConfig::paper_default();
+        let mut cfd = CfdModel::new(config);
+        let powers = vec![Power::from_watts(195.0); config.server_count()];
+        hbm_telemetry::timing::set_timings_enabled(true);
+        b.iter(|| {
+            cfd.step(black_box(&powers), Duration::from_minutes(1.0));
+            cfd.mean_inlet()
+        });
+        hbm_telemetry::timing::set_timings_enabled(false);
+        hbm_telemetry::timing::reset_timings();
+    });
+
     // The pre-rewrite nested-Vec kernel, same work as above: this is the
     // baseline the flat-buffer CfdModel is measured against.
     c.bench_function("cfd_step_one_minute_40_servers_nested_baseline", |b| {

@@ -55,3 +55,6 @@ pub use cost::{CostModel, CostReport};
 pub use fleet::{coordinated_one_shot, Fleet, FleetReport};
 pub use metrics::Metrics;
 pub use sim::{SimReport, Simulation, SlotRecord};
+
+/// The crate version, for run manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use hbm_battery::Battery;
 use hbm_power::EmergencyProtocol;
 use hbm_sidechannel::VoltageSideChannel;
+use hbm_telemetry::{ChannelValue, Recorder, Sample};
 use hbm_thermal::ZoneModel;
 use hbm_units::{Duration, Energy, Power, Temperature};
 use hbm_workload::{generate, PowerTrace};
@@ -78,6 +79,10 @@ pub struct Simulation {
     prev_capping: bool,
     /// EMA state of the attacker's filtered side-channel estimate.
     estimate_filter: Option<Power>,
+    /// Optional per-slot telemetry sink. `None` costs one branch per slot;
+    /// recording itself never touches any simulation RNG, so traced and
+    /// untraced runs produce identical trajectories.
+    recorder: Option<Box<dyn Recorder>>,
 }
 
 impl Simulation {
@@ -116,6 +121,7 @@ impl Simulation {
             outage_remaining: None,
             prev_capping: false,
             estimate_filter: None,
+            recorder: None,
         }
     }
 
@@ -155,6 +161,24 @@ impl Simulation {
         self.policy.as_mut()
     }
 
+    /// Attaches a telemetry recorder; every subsequent slot emits one
+    /// [`Sample`] (see `docs/TELEMETRY.md` for the channel schema).
+    ///
+    /// Recording observes state the simulator computes anyway and never
+    /// touches any RNG, so attaching a recorder cannot perturb the run.
+    /// Attach after [`Simulation::warmup`] to trace only measured slots.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Detaches and returns the recorder, flushing it first.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.flush();
+        }
+        self.recorder.take()
+    }
+
     /// Runs `slots` slots and returns the accumulated report.
     pub fn run(&mut self, slots: u64) -> SimReport {
         for _ in 0..slots {
@@ -192,6 +216,48 @@ impl Simulation {
 
     /// Simulates one slot and returns its record.
     pub fn step(&mut self) -> SlotRecord {
+        let started = hbm_telemetry::timing::start();
+        let (record, raw_estimate) = self.step_inner();
+        hbm_telemetry::timing::record_span("sim.step", started);
+        if self.recorder.is_some() {
+            self.record_slot(&record, raw_estimate);
+        }
+        record
+    }
+
+    /// Emits one telemetry sample for a finished slot. Channel names mirror
+    /// the figure CSV columns (`docs/TELEMETRY.md`).
+    fn record_slot(&mut self, r: &SlotRecord, raw_estimate: Power) {
+        let action = match r.action {
+            AttackAction::Attack => "attack",
+            AttackAction::Charge => "charge",
+            AttackAction::Standby => "standby",
+        };
+        let channels: [(&'static str, ChannelValue); 12] = [
+            ("benign_kw", r.benign_demand.as_kilowatts().into()),
+            ("benign_actual_kw", r.benign_actual.as_kilowatts().into()),
+            ("metered_kw", r.metered_total.as_kilowatts().into()),
+            ("actual_kw", r.actual_total.as_kilowatts().into()),
+            ("attack_kw", r.attack_load.as_kilowatts().into()),
+            ("soc", r.battery_soc.into()),
+            ("est_kw", r.estimated_total.as_kilowatts().into()),
+            ("raw_est_kw", raw_estimate.as_kilowatts().into()),
+            ("inlet_c", r.inlet.as_celsius().into()),
+            ("capping", r.capping.into()),
+            ("outage", r.outage.into()),
+            ("action", ChannelValue::Str(action)),
+        ];
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(&Sample {
+                step: r.slot,
+                channels: &channels,
+            });
+        }
+    }
+
+    /// The slot body; returns the record plus the unfiltered side-channel
+    /// estimate (zero during outages, when nothing can be sensed).
+    fn step_inner(&mut self) -> (SlotRecord, Power) {
         let slot = self.config.slot;
         let k = self.slot_index;
         self.slot_index += 1;
@@ -211,20 +277,23 @@ impl Simulation {
             }
             self.pending = None; // the attacker's episode is over
             self.prev_capping = false;
-            return SlotRecord {
-                slot: k,
-                benign_demand: Power::ZERO,
-                benign_actual: Power::ZERO,
-                metered_total: Power::ZERO,
-                actual_total: Power::ZERO,
-                attack_load: Power::ZERO,
-                battery_soc: self.battery.state_of_charge(),
-                estimated_total: Power::ZERO,
-                action: AttackAction::Standby,
-                inlet,
-                capping: false,
-                outage: true,
-            };
+            return (
+                SlotRecord {
+                    slot: k,
+                    benign_demand: Power::ZERO,
+                    benign_actual: Power::ZERO,
+                    metered_total: Power::ZERO,
+                    actual_total: Power::ZERO,
+                    attack_load: Power::ZERO,
+                    battery_soc: self.battery.state_of_charge(),
+                    estimated_total: Power::ZERO,
+                    action: AttackAction::Standby,
+                    inlet,
+                    capping: false,
+                    outage: true,
+                },
+                Power::ZERO,
+            );
         }
 
         let capping = self.protocol.state().is_capping();
@@ -352,20 +421,23 @@ impl Simulation {
             next_battery_stored: self.battery.stored(),
         });
 
-        SlotRecord {
-            slot: k,
-            benign_demand,
-            benign_actual,
-            metered_total,
-            actual_total,
-            attack_load: battery_attack,
-            battery_soc: self.battery.state_of_charge(),
-            estimated_total,
-            action,
-            inlet,
-            capping,
-            outage: false,
-        }
+        (
+            SlotRecord {
+                slot: k,
+                benign_demand,
+                benign_actual,
+                metered_total,
+                actual_total,
+                attack_load: battery_attack,
+                battery_soc: self.battery.state_of_charge(),
+                estimated_total,
+                action,
+                inlet,
+                capping,
+                outage: false,
+            },
+            raw_estimate,
+        )
     }
 
     fn slots_per_day(&self) -> u64 {

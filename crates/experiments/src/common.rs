@@ -25,6 +25,14 @@ pub struct Options {
     /// Worker threads for the experiment harness (1 = serial,
     /// 0 = one per available core).
     pub jobs: usize,
+    /// Directory for per-step JSONL telemetry traces (`--trace DIR`;
+    /// `None` disables recording entirely).
+    pub trace: Option<PathBuf>,
+    /// Whether to collect and print kernel timing spans (`--timings`).
+    pub timings: bool,
+    /// Optional file for the span timings as criterion-shaped JSON
+    /// (`--timings-json FILE`; implies `--timings`).
+    pub timings_json: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -35,13 +43,18 @@ impl Default for Options {
             seed: 1,
             out_dir: PathBuf::from("results"),
             jobs: 1,
+            trace: None,
+            timings: false,
+            timings_json: None,
         }
     }
 }
 
 impl Options {
-    /// Parses `--days N`, `--warmup-days N`, `--seed N`, `--out DIR` from
-    /// the raw argument list, returning the remaining positional arguments.
+    /// Parses `--days N`, `--warmup-days N`, `--seed N`, `--out DIR`,
+    /// `--jobs N`, `--trace DIR`, `--timings`, and `--timings-json FILE`
+    /// from the raw argument list, returning the remaining positional
+    /// arguments.
     pub fn parse(args: &[String]) -> Result<(Options, Vec<String>), String> {
         let mut opts = Options::default();
         let mut rest = Vec::new();
@@ -69,6 +82,12 @@ impl Options {
                         .map_err(|e| format!("--seed: {e}"))?
                 }
                 "--out" => opts.out_dir = PathBuf::from(take("--out")?),
+                "--trace" => opts.trace = Some(PathBuf::from(take("--trace")?)),
+                "--timings" => opts.timings = true,
+                "--timings-json" => {
+                    opts.timings_json = Some(PathBuf::from(take("--timings-json")?));
+                    opts.timings = true;
+                }
                 "--jobs" => {
                     opts.jobs = take("--jobs")?
                         .parse()
@@ -93,6 +112,35 @@ impl Options {
     /// Warm-up slots.
     pub fn warmup_slots(&self) -> u64 {
         self.warmup_days * 24 * 60
+    }
+
+    /// Canonical one-line description of the run configuration, hashed into
+    /// the manifest's `config_hash`.
+    pub fn config_canonical(&self, ids: &[String]) -> String {
+        format!(
+            "ids={};days={};warmup_days={};seed={}",
+            ids.join("+"),
+            self.days,
+            self.warmup_days,
+            self.seed
+        )
+    }
+}
+
+/// Opens a per-run JSONL trace sink at `<trace>/<name>.jsonl`, or `None`
+/// when tracing is off (the untraced path costs one branch per slot).
+///
+/// Each run owns its own file, so `--jobs N` workers never contend and the
+/// traces are byte-identical whatever the thread count.
+pub fn trace_recorder(opts: &Options, name: &str) -> Option<Box<hbm_telemetry::JsonlRecorder>> {
+    let dir = opts.trace.as_ref()?;
+    let path = dir.join(format!("{name}.jsonl"));
+    match hbm_telemetry::JsonlRecorder::create(&path) {
+        Ok(rec) => Some(Box::new(rec)),
+        Err(e) => {
+            eprintln!("warning: cannot create trace {}: {e}", path.display());
+            None
+        }
     }
 }
 

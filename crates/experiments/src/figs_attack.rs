@@ -9,7 +9,7 @@ use hbm_core::{
 use hbm_units::Power;
 use hbm_workload::TraceShape;
 
-use crate::common::{heading, run_policy, summary_line, write_csv, Options, Sink};
+use crate::common::{heading, run_policy, summary_line, trace_recorder, write_csv, Options, Sink};
 use crate::outln;
 
 /// Fig. 8: one-shot attack demonstration (30-minute window).
@@ -20,7 +20,11 @@ pub fn fig8(opts: &Options, out: &mut Sink) {
     config.attack_load = Power::from_kilowatts(3.0);
     let policy = OneShotPolicy::new(Power::from_kilowatts(7.6));
     let mut sim = Simulation::new(config, Box::new(policy), opts.seed);
+    if let Some(rec) = trace_recorder(opts, "fig8") {
+        sim.set_recorder(rec);
+    }
     let (report, records) = sim.run_recorded(3 * 1440);
+    drop(sim.take_recorder());
     let trigger = records
         .iter()
         .position(|r| r.attack_load > Power::ZERO)
@@ -86,11 +90,17 @@ pub fn fig9(opts: &Options, out: &mut Sink) {
         if warmup {
             sim.warmup(opts.warmup_slots());
         }
+        // Trace only the measured slots: attach after warm-up so the JSONL
+        // lines up with the recorded days.
+        if let Some(rec) = trace_recorder(opts, &format!("fig9_{name}")) {
+            sim.set_recorder(rec);
+        }
         // Record a few days, then pick the most "interesting" 4-hour window
         // (most capping slots, then most attack slots) — the paper likewise
         // shows a snapshot "when the total power/cooling load is relatively
         // higher".
         let (_, all) = sim.run_recorded(4 * 1440);
+        drop(sim.take_recorder());
         let window_len = 4 * 60;
         let score = |w: &[SlotRecord]| {
             let capping = w.iter().filter(|r| r.capping).count();

@@ -8,7 +8,7 @@ use hbm_defense::{
 use hbm_thermal::ZoneModel;
 use hbm_units::{Power, TemperatureDelta};
 
-use crate::common::{heading, write_csv, Options, Sink};
+use crate::common::{heading, trace_recorder, write_csv, Options, Sink};
 use crate::outln;
 
 /// Evaluates the Section VII defenses against a Foresighted campaign.
@@ -39,6 +39,7 @@ pub fn defense(opts: &Options, out: &mut Sink) {
         TemperatureDelta::from_celsius(0.8),
         3,
     );
+    let mut residual_trace = trace_recorder(opts, "defense_residual");
     let mut attack_runs = 0u64;
     let mut detected_runs = 0u64;
     let mut latencies = Vec::new();
@@ -46,7 +47,12 @@ pub fn defense(opts: &Options, out: &mut Sink) {
     let mut run_detected = false;
     let mut run_start = 0usize;
     for (i, r) in records.iter().enumerate() {
-        let alarm = detector.observe(r.metered_total, r.inlet, config.slot);
+        let alarm = match residual_trace.as_deref_mut() {
+            Some(rec) => {
+                detector.observe_recorded(r.slot, r.metered_total, r.inlet, config.slot, rec)
+            }
+            None => detector.observe(r.metered_total, r.inlet, config.slot),
+        };
         let attacking = r.attack_load > Power::ZERO;
         if attacking && !in_run {
             in_run = true;

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! experiments <id>... [--days N] [--warmup-days N] [--seed N] [--out DIR] [--jobs N]
+//!                     [--trace DIR] [--timings] [--timings-json FILE]
 //! experiments all [--days N] ...
 //! ```
 //!
@@ -16,6 +17,12 @@
 //! each experiment's console output is buffered and flushed in submission
 //! order, so tables stay uninterleaved and CSVs are byte-identical
 //! whatever `--jobs` is.
+//!
+//! `--trace DIR` additionally writes one JSONL telemetry trace per traced
+//! run (currently fig8, fig9, and the defense residual detector) plus a
+//! `manifest.json` run manifest; `--timings` aggregates wall-clock spans
+//! around the hot kernels and prints a report (`--timings-json FILE` also
+//! writes them as criterion-shaped JSON). See `docs/TELEMETRY.md`.
 
 mod common;
 mod figs_attack;
@@ -71,7 +78,7 @@ fn main() {
         }
     };
     if ids.is_empty() {
-        eprintln!("usage: experiments <id>... | all   [--days N] [--warmup-days N] [--seed N] [--out DIR] [--jobs N]");
+        eprintln!("usage: experiments <id>... | all   [--days N] [--warmup-days N] [--seed N] [--out DIR] [--jobs N] [--trace DIR] [--timings] [--timings-json FILE]");
         eprintln!("available experiments:");
         for (name, _) in EXPERIMENTS {
             eprintln!("  {name}");
@@ -96,6 +103,23 @@ fn main() {
     }
 
     hbm_par::configure_threads(opts.jobs.max(1));
+    if opts.timings {
+        hbm_telemetry::timing::set_timings_enabled(true);
+        // Pre-register the well-known kernel spans so the report always
+        // names them, even for experiments that never enter a kernel
+        // (e.g. fig9 uses the zone model, not the CFD model).
+        for span in [
+            "cfd.substep",
+            "heat_matrix.convolve",
+            "heat_matrix.extract",
+            "zone.step",
+            "sim.step",
+            "rl.batch_update",
+            "rl.q_update",
+        ] {
+            hbm_telemetry::timing::declare_span(span);
+        }
+    }
     let start = std::time::Instant::now();
     let count = runs.len();
     if opts.jobs <= 1 {
@@ -117,9 +141,51 @@ fn main() {
             sink.flush_to_stdout();
         }
     }
+    if opts.timings {
+        println!("\n=== kernel timing report ===");
+        println!("{}", hbm_telemetry::timing::render_timing_report());
+        if let Some(path) = &opts.timings_json {
+            let json = hbm_telemetry::timing::timing_report_bench_json();
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            match std::fs::write(path, json + "\n") {
+                Ok(()) => println!("  [json] {}", path.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+    write_manifest(&opts, &ids, start.elapsed().as_millis() as u64);
     eprintln!(
         "\n[{count} experiment(s) in {:.1?}, --jobs {}]",
         start.elapsed(),
         opts.jobs
     );
+}
+
+/// Emits `manifest.json` alongside the CSVs (and into the trace directory,
+/// when tracing) so every run records what produced it.
+fn write_manifest(opts: &Options, ids: &[String], wall_clock_ms: u64) {
+    let mut manifest = hbm_telemetry::RunManifest::new("experiments", opts.seed);
+    manifest.hash_config(&opts.config_canonical(ids));
+    manifest
+        .param("ids", ids.join("+"))
+        .param("days", opts.days.to_string())
+        .param("warmup_days", opts.warmup_days.to_string())
+        .param("timings", opts.timings.to_string())
+        .param("trace", opts.trace.is_some().to_string());
+    for (name, version) in [
+        ("hbm-experiments", env!("CARGO_PKG_VERSION")),
+        ("hbm-core", hbm_core::VERSION),
+        ("hbm-telemetry", hbm_telemetry::VERSION),
+    ] {
+        manifest.crate_version(name, version);
+    }
+    manifest.jobs = opts.jobs as u64;
+    manifest.wall_clock_ms = wall_clock_ms;
+    for dir in std::iter::once(&opts.out_dir).chain(opts.trace.as_ref()) {
+        if let Err(e) = manifest.write_to_dir(dir) {
+            eprintln!("warning: cannot write manifest to {}: {e}", dir.display());
+        }
+    }
 }

@@ -7,6 +7,16 @@
 //! one shared budget. When the budget is exhausted, `par_map` degrades
 //! to an ordinary sequential loop on the calling thread — results are
 //! identical either way because outputs are collected by input index.
+//!
+//! # Examples
+//!
+//! ```
+//! hbm_par::configure_threads(4);
+//! let squares = hbm_par::par_map((0..8u64).collect::<Vec<_>>(), |x| x * x);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -175,12 +175,14 @@ impl BatchQLearning {
             delta > 0.0 && delta <= 1.0,
             "learning rate must be in (0, 1]"
         );
+        let started = hbm_telemetry::timing::start();
         // Eqn. 5: Q tracks the immediate reward.
         self.q.blend(s, a, reward, delta);
         // Eqns. 6–7: propagate the next state's value to the post state.
         let c_next = self.state_value(s_next, allowed_next, &post);
         let p = post(s, a);
         self.v[p] = (1.0 - delta) * self.v[p] + delta * c_next;
+        hbm_telemetry::timing::record_span("rl.batch_update", started);
     }
 }
 

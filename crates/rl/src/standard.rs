@@ -102,8 +102,10 @@ impl QLearning {
         allowed_next: &[usize],
         delta: f64,
     ) {
+        let started = hbm_telemetry::timing::start();
         let target = reward + self.gamma * self.table.max(s_next, allowed_next);
         self.table.blend(s, a, target, delta);
+        hbm_telemetry::timing::record_span("rl.q_update", started);
     }
 }
 

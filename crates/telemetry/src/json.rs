@@ -1,0 +1,354 @@
+//! Minimal JSON encoding and flat-object decoding.
+//!
+//! The build environment has no `serde_json`, and the telemetry layer only
+//! needs a small, deterministic subset of JSON: flat objects whose values
+//! are numbers, booleans, and strings. Floats are encoded with Rust's
+//! shortest-round-trip `Display`, so a decoded value is bit-identical to
+//! the recorded one, and two runs that compute the same values byte-match.
+
+use std::fmt::Write as _;
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON number for `v`: shortest round-trip form, with the
+/// non-finite values (which JSON cannot represent) encoded as `null`.
+pub fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let s = v.to_string(); // positional shortest-round-trip form
+        out.push_str(&s);
+        // `Display` prints integral floats without a dot ("3"); keep the
+        // value unambiguously a float so decoders round-trip the type.
+        if !s.contains('.') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// An incrementally built single-line JSON object.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject { buf: String::new() }
+    }
+
+    fn key(&mut self, name: &str) {
+        self.buf.push(if self.buf.is_empty() { '{' } else { ',' });
+        push_json_str(&mut self.buf, name);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, name: &str, v: &str) -> &mut Self {
+        self.key(name);
+        push_json_str(&mut self.buf, v);
+        self
+    }
+
+    /// Adds a float field.
+    pub fn f64(&mut self, name: &str, v: f64) -> &mut Self {
+        self.key(name);
+        push_json_f64(&mut self.buf, v);
+        self
+    }
+
+    /// Adds an unsigned-integer field.
+    pub fn u64(&mut self, name: &str, v: u64) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, name: &str, v: bool) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-encoded JSON value verbatim (array or nested object).
+    pub fn raw(&mut self, name: &str, json: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        if self.buf.is_empty() {
+            self.buf.push('{');
+        }
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// One decoded value of a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A number (all JSON numbers decode as `f64`).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(String),
+    /// `null`.
+    Null,
+}
+
+impl JsonValue {
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Decodes one flat JSON object (one JSONL line) into `(key, value)` pairs
+/// in document order. Nested containers are not supported — the telemetry
+/// record and manifest schemas are deliberately flat.
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax problem.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err("trailing bytes after object".into());
+        }
+        return Ok(fields);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        let value = p.value()?;
+        fields.push((key, value));
+        p.skip_ws();
+        match p.next() {
+            Some(b',') => continue,
+            Some(b'}') => break,
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing bytes after object".into());
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.next() {
+            Some(got) if got == b => Ok(()),
+            got => Err(format!("expected {:?}, got {got:?}", b as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next().ok_or("unterminated string")? {
+                b'"' => return Ok(out),
+                b'\\' => match self.next().ok_or("unterminated escape")? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next().ok_or("truncated \\u escape")? as char;
+                            code = code * 16 + d.to_digit(16).ok_or("bad hex in \\u escape")?;
+                        }
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    e => return Err(format!("unsupported escape \\{}", e as char)),
+                },
+                b => {
+                    // Re-assemble multi-byte UTF-8 (the input is a &str, so
+                    // the bytes are guaranteed valid).
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    self.pos = start + len;
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek().ok_or("missing value")? {
+            b'"' => Ok(JsonValue::Str(self.string()?)),
+            b't' => self.literal("true", JsonValue::Bool(true)),
+            b'f' => self.literal("false", JsonValue::Bool(false)),
+            b'n' => self.literal("null", JsonValue::Null),
+            _ => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                ) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                text.parse::<f64>()
+                    .map(JsonValue::Num)
+                    .map_err(|e| format!("bad number {text:?}: {e}"))
+            }
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("expected {word}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for v in [0.1, -3.75, 1.0 / 3.0, 6.02e23, 1e-300, 7.0, -0.0] {
+            let mut s = String::new();
+            push_json_f64(&mut s, v);
+            let parsed = parse_flat_object(&format!("{{\"x\":{s}}}")).unwrap();
+            assert_eq!(parsed[0].1.as_f64().unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        let mut s = String::new();
+        push_json_f64(&mut s, 3.0);
+        assert_eq!(s, "3.0");
+        let mut s = String::new();
+        push_json_f64(&mut s, -2e300);
+        assert!(s.contains('e') || s.contains('.'), "got {s}");
+    }
+
+    #[test]
+    fn non_finite_encodes_as_null() {
+        let mut s = String::new();
+        push_json_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn object_builder_and_parser_agree() {
+        let mut o = JsonObject::new();
+        o.str("name", "fig9 \"snapshot\"\n")
+            .u64("slot", 42)
+            .f64("kw", 7.25)
+            .bool("capping", true);
+        let line = o.finish();
+        let fields = parse_flat_object(&line).unwrap();
+        assert_eq!(fields[0].0, "name");
+        assert_eq!(fields[0].1.as_str().unwrap(), "fig9 \"snapshot\"\n");
+        assert_eq!(fields[1].1.as_f64().unwrap(), 42.0);
+        assert_eq!(fields[2].1.as_f64().unwrap(), 7.25);
+        assert!(fields[3].1.as_bool().unwrap());
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert!(parse_flat_object("{}").unwrap().is_empty());
+        assert!(JsonObject::new().finish() == "{}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_flat_object("{\"a\":1} trailing").is_err());
+        assert!(parse_flat_object("[1,2]").is_err());
+        assert!(parse_flat_object("{\"a\"}").is_err());
+    }
+}

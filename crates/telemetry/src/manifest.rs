@@ -1,0 +1,242 @@
+//! Run manifests: the metadata that makes a result directory auditable.
+//!
+//! A [`RunManifest`] records what produced a batch of CSVs/JSONL traces:
+//! the tool, the seed, a hash of the effective configuration, arbitrary
+//! named parameters, crate versions, the git revision, and the wall clock.
+//! It is written as a single flat JSON object (`manifest.json`) next to
+//! the outputs it describes.
+//!
+//! Fields split into two groups: *deterministic* ones, which must be
+//! byte-identical across reruns of the same configuration (whatever
+//! `--jobs` is), and *volatile* ones ([`RunManifest::VOLATILE_FIELDS`]:
+//! worker count and wall-clock timing), which legitimately differ.
+
+use std::path::Path;
+use std::process::Command;
+use std::time::SystemTime;
+
+use crate::json::{parse_flat_object, JsonObject, JsonValue};
+
+/// Schema version of the manifest layout (bump on breaking changes).
+pub const MANIFEST_SCHEMA: u64 = 1;
+
+/// 64-bit FNV-1a over arbitrary bytes — the workspace's stable,
+/// platform-independent configuration hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// `git describe --always --dirty --tags` of the working tree, or
+/// `"unknown"` when git (or a repository) is unavailable.
+pub fn git_describe() -> String {
+    Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Metadata of one run, serialized as `manifest.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Producing tool (e.g. `experiments`).
+    pub tool: String,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// FNV-1a hash of the effective configuration, hex.
+    pub config_hash: String,
+    /// Named run parameters, in insertion order (horizon, experiment ids,
+    /// …). Keys must not collide with the built-in field names.
+    pub params: Vec<(String, String)>,
+    /// Workspace crates and their versions, in insertion order.
+    pub crates: Vec<(String, String)>,
+    /// Git revision of the working tree.
+    pub git: String,
+    /// Worker threads the run was launched with (volatile).
+    pub jobs: u64,
+    /// Unix timestamp of the run start, milliseconds (volatile).
+    pub started_unix_ms: u64,
+    /// Total run duration, milliseconds (volatile).
+    pub wall_clock_ms: u64,
+}
+
+impl RunManifest {
+    /// Field names that may differ between reruns of the same
+    /// configuration; everything else must be byte-identical.
+    pub const VOLATILE_FIELDS: &'static [&'static str] =
+        &["jobs", "started_unix_ms", "wall_clock_ms"];
+
+    /// Starts a manifest stamped with the current time and git revision.
+    pub fn new(tool: impl Into<String>, seed: u64) -> Self {
+        let started_unix_ms = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        RunManifest {
+            tool: tool.into(),
+            seed,
+            config_hash: String::new(),
+            params: Vec::new(),
+            crates: Vec::new(),
+            git: git_describe(),
+            jobs: 1,
+            started_unix_ms,
+            wall_clock_ms: 0,
+        }
+    }
+
+    /// Sets the configuration hash from the configuration's canonical
+    /// textual form.
+    pub fn hash_config(&mut self, canonical: &str) -> &mut Self {
+        self.config_hash = format!("{:016x}", fnv1a64(canonical.as_bytes()));
+        self
+    }
+
+    /// Adds one named parameter.
+    pub fn param(&mut self, key: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.params.push((key.into(), value.into()));
+        self
+    }
+
+    /// Adds one crate/version pair.
+    pub fn crate_version(
+        &mut self,
+        name: impl Into<String>,
+        version: impl Into<String>,
+    ) -> &mut Self {
+        self.crates.push((name.into(), version.into()));
+        self
+    }
+
+    /// Serializes the manifest as one flat JSON object: deterministic
+    /// fields first, the [`RunManifest::VOLATILE_FIELDS`] last.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.u64("schema", MANIFEST_SCHEMA)
+            .str("tool", &self.tool)
+            .u64("seed", self.seed)
+            .str("config_hash", &self.config_hash);
+        for (k, v) in &self.params {
+            o.str(k, v);
+        }
+        let crates = self
+            .crates
+            .iter()
+            .map(|(n, v)| format!("{n} {v}"))
+            .collect::<Vec<_>>()
+            .join("; ");
+        o.str("crate_versions", &crates).str("git", &self.git);
+        o.u64("jobs", self.jobs)
+            .u64("started_unix_ms", self.started_unix_ms)
+            .u64("wall_clock_ms", self.wall_clock_ms);
+        o.finish()
+    }
+
+    /// Writes `manifest.json` (the serialized form plus a trailing
+    /// newline) into `dir`, creating the directory if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn write_to_dir(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("manifest.json");
+        std::fs::write(&path, self.to_json() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// Parses a serialized manifest and returns only its deterministic fields
+/// (everything except [`RunManifest::VOLATILE_FIELDS`]), for comparing
+/// manifests across reruns.
+///
+/// # Errors
+///
+/// Returns a message if `json` is not a flat JSON object.
+pub fn deterministic_manifest_fields(json: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    Ok(parse_flat_object(json.trim())?
+        .into_iter()
+        .filter(|(k, _)| !RunManifest::VOLATILE_FIELDS.contains(&k.as_str()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        let mut m = RunManifest::new("experiments", 42);
+        m.hash_config("fig9 --days 1")
+            .param("experiments", "fig9")
+            .param("days", "1")
+            .crate_version("hbm-core", "0.1.0")
+            .crate_version("hbm-telemetry", "0.1.0");
+        m.jobs = 4;
+        m.wall_clock_ms = 1234;
+        m
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference vectors for 64-bit FNV-1a.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn json_round_trips_and_orders_fields() {
+        let json = sample().to_json();
+        let fields = parse_flat_object(&json).unwrap();
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "schema",
+                "tool",
+                "seed",
+                "config_hash",
+                "experiments",
+                "days",
+                "crate_versions",
+                "git",
+                "jobs",
+                "started_unix_ms",
+                "wall_clock_ms"
+            ]
+        );
+        assert_eq!(fields[2].1.as_f64().unwrap(), 42.0);
+    }
+
+    #[test]
+    fn deterministic_fields_exclude_volatile_ones() {
+        let mut a = sample();
+        let mut b = sample();
+        a.jobs = 1;
+        b.jobs = 8;
+        b.started_unix_ms = a.started_unix_ms + 5000;
+        b.wall_clock_ms = 9;
+        let da = deterministic_manifest_fields(&a.to_json()).unwrap();
+        let db = deterministic_manifest_fields(&b.to_json()).unwrap();
+        assert_eq!(da, db);
+        assert!(da.iter().all(|(k, _)| k != "jobs"));
+    }
+
+    #[test]
+    fn write_creates_directory_and_file() {
+        let dir = std::env::temp_dir().join("hbm_telemetry_manifest_test/nested");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = sample().write_to_dir(&dir).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.ends_with('\n'));
+        assert!(deterministic_manifest_fields(&text).is_ok());
+    }
+}

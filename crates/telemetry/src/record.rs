@@ -1,0 +1,300 @@
+//! Per-step channel recording: the [`Recorder`] trait and its sinks.
+//!
+//! A *channel* is one named per-step signal (tenant power, inlet
+//! temperature, battery state of charge, …). Producers hold an
+//! `Option<Box<dyn Recorder>>`; with no recorder attached the hook is a
+//! single `None` check, so simulation output and timing are unaffected —
+//! recording observes values that are computed anyway and never touches
+//! RNG state.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use crate::json::{parse_flat_object, JsonObject, JsonValue};
+
+/// One recorded channel value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChannelValue {
+    /// A continuous signal (kW, °C, state of charge, …).
+    F64(f64),
+    /// A counter or index.
+    U64(u64),
+    /// A flag (capping, outage, alarm, …).
+    Bool(bool),
+    /// A discrete label (e.g. the attacker's action).
+    Str(&'static str),
+}
+
+impl ChannelValue {
+    /// The value as a float, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ChannelValue::F64(v) => Some(*v),
+            ChannelValue::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+}
+
+impl From<f64> for ChannelValue {
+    fn from(v: f64) -> Self {
+        ChannelValue::F64(v)
+    }
+}
+
+impl From<u64> for ChannelValue {
+    fn from(v: u64) -> Self {
+        ChannelValue::U64(v)
+    }
+}
+
+impl From<bool> for ChannelValue {
+    fn from(v: bool) -> Self {
+        ChannelValue::Bool(v)
+    }
+}
+
+impl From<&'static str> for ChannelValue {
+    fn from(v: &'static str) -> Self {
+        ChannelValue::Str(v)
+    }
+}
+
+/// One step's worth of channels, borrowed from the producer's stack.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample<'a> {
+    /// Producer-defined step index (the simulator's slot number).
+    pub step: u64,
+    /// Channel name → value pairs, in the producer's canonical order.
+    pub channels: &'a [(&'static str, ChannelValue)],
+}
+
+/// A sink for per-step samples.
+///
+/// Implementations must preserve sample order; the harness gives every
+/// concurrent run its own `Recorder` (and its own output file), so
+/// implementations need not be thread-safe beyond `Send`.
+pub trait Recorder: Send {
+    /// Records one step.
+    fn record(&mut self, sample: &Sample<'_>);
+
+    /// Flushes buffered output (called at the end of a run).
+    fn flush(&mut self) {}
+}
+
+/// A recorder that drops everything (for exercising the recording path
+/// without output).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&mut self, _sample: &Sample<'_>) {}
+}
+
+/// One owned recorded step, as stored by [`MemoryRecorder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedSample {
+    /// Producer-defined step index.
+    pub step: u64,
+    /// Channel name → value pairs.
+    pub channels: Vec<(&'static str, ChannelValue)>,
+}
+
+impl OwnedSample {
+    /// Looks up a channel by name.
+    pub fn channel(&self, name: &str) -> Option<&ChannelValue> {
+        self.channels
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// An in-memory sink, for tests and programmatic inspection.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryRecorder {
+    samples: Vec<OwnedSample>,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        MemoryRecorder::default()
+    }
+
+    /// Everything recorded so far.
+    pub fn samples(&self) -> &[OwnedSample] {
+        &self.samples
+    }
+
+    /// Consumes the recorder and returns its samples.
+    pub fn into_samples(self) -> Vec<OwnedSample> {
+        self.samples
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&mut self, sample: &Sample<'_>) {
+        self.samples.push(OwnedSample {
+            step: sample.step,
+            channels: sample.channels.to_vec(),
+        });
+    }
+}
+
+/// Encodes one sample as a single JSONL line (no trailing newline).
+///
+/// The `step` field always comes first; channels follow in producer order.
+pub fn sample_to_jsonl(sample: &Sample<'_>) -> String {
+    let mut o = JsonObject::new();
+    o.u64("step", sample.step);
+    for (name, value) in sample.channels {
+        match value {
+            ChannelValue::F64(v) => o.f64(name, *v),
+            ChannelValue::U64(v) => o.u64(name, *v),
+            ChannelValue::Bool(v) => o.bool(name, *v),
+            ChannelValue::Str(v) => o.str(name, v),
+        };
+    }
+    o.finish()
+}
+
+/// Decodes one JSONL line back into a step index and channel values.
+///
+/// Inverse of [`sample_to_jsonl`] up to value types: numbers come back as
+/// [`JsonValue::Num`] whether they were recorded as `F64` or `U64`.
+///
+/// # Errors
+///
+/// Returns a message if the line is not a flat JSON object or lacks a
+/// numeric `step` field.
+pub fn parse_jsonl_line(line: &str) -> Result<(u64, Vec<(String, JsonValue)>), String> {
+    let mut fields = parse_flat_object(line)?;
+    if fields.first().map(|(n, _)| n.as_str()) != Some("step") {
+        return Err("first field must be \"step\"".into());
+    }
+    let (_, step) = fields.remove(0);
+    let step = step.as_f64().ok_or("\"step\" must be a number")? as u64;
+    Ok((step, fields))
+}
+
+/// A buffered JSONL file sink: one flat JSON object per recorded step.
+#[derive(Debug)]
+pub struct JsonlRecorder {
+    out: BufWriter<File>,
+    line: String,
+}
+
+impl JsonlRecorder {
+    /// Creates (truncating) the JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        Ok(JsonlRecorder {
+            out: BufWriter::new(File::create(path)?),
+            line: String::new(),
+        })
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&mut self, sample: &Sample<'_>) {
+        self.line.clear();
+        self.line.push_str(&sample_to_jsonl(sample));
+        self.line.push('\n');
+        let _ = self.out.write_all(self.line.as_bytes());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_channels() -> Vec<(&'static str, ChannelValue)> {
+        vec![
+            ("benign_kw", ChannelValue::F64(5.321)),
+            ("slot_count", ChannelValue::U64(17)),
+            ("capping", ChannelValue::Bool(false)),
+            ("action", ChannelValue::Str("attack")),
+        ]
+    }
+
+    #[test]
+    fn memory_recorder_stores_samples_in_order() {
+        let mut rec = MemoryRecorder::new();
+        for step in 0..5u64 {
+            let channels = [("x", ChannelValue::F64(step as f64 * 0.5))];
+            rec.record(&Sample {
+                step,
+                channels: &channels,
+            });
+        }
+        assert_eq!(rec.samples().len(), 5);
+        assert_eq!(rec.samples()[3].step, 3);
+        assert_eq!(rec.samples()[3].channel("x"), Some(&ChannelValue::F64(1.5)));
+    }
+
+    #[test]
+    fn jsonl_line_round_trips() {
+        let channels = sample_channels();
+        let line = sample_to_jsonl(&Sample {
+            step: 42,
+            channels: &channels,
+        });
+        let (step, fields) = parse_jsonl_line(&line).unwrap();
+        assert_eq!(step, 42);
+        assert_eq!(fields.len(), 4);
+        assert_eq!(fields[0].0, "benign_kw");
+        assert_eq!(fields[0].1.as_f64().unwrap().to_bits(), 5.321f64.to_bits());
+        assert_eq!(fields[1].1.as_f64().unwrap(), 17.0);
+        assert!(!fields[2].1.as_bool().unwrap());
+        assert_eq!(fields[3].1.as_str().unwrap(), "attack");
+    }
+
+    #[test]
+    fn jsonl_file_sink_writes_one_line_per_step() {
+        let dir = std::env::temp_dir().join("hbm_telemetry_record_test");
+        let path = dir.join("run.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut rec = JsonlRecorder::create(&path).unwrap();
+            let channels = sample_channels();
+            for step in 0..3u64 {
+                rec.record(&Sample {
+                    step,
+                    channels: &channels,
+                });
+            }
+            rec.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (i, line) in lines.iter().enumerate() {
+            let (step, fields) = parse_jsonl_line(line).unwrap();
+            assert_eq!(step, i as u64);
+            assert_eq!(fields.len(), 4);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_missing_step() {
+        assert!(parse_jsonl_line("{\"x\":1.0}").is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Lightweight timing spans for the simulator's hot kernels.
+//!
+//! A *span* aggregates the wall-clock cost of one named code region — the
+//! CFD substep loop, the heat-matrix convolution, a Q-learning update —
+//! across every call in the process. Spans are disabled by default:
+//! [`start`] returns `None` without reading the clock, and [`record_span`]
+//! with a `None` start is a single branch, so instrumented kernels pay
+//! nothing until [`set_timings_enabled`]`(true)`.
+//!
+//! Aggregates are process-wide (one registry behind a mutex, locked only
+//! when a span actually records), so parallel experiment runs fold into
+//! one report.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::JsonObject;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Agg {
+    calls: u64,
+    units: u64,
+    total_ns: u128,
+    min_ns: u128,
+    max_ns: u128,
+}
+
+static REGISTRY: OnceLock<Mutex<HashMap<&'static str, Agg>>> = OnceLock::new();
+
+fn registry() -> &'static Mutex<HashMap<&'static str, Agg>> {
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Turns span recording on or off process-wide.
+pub fn set_timings_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether spans are currently being recorded.
+#[inline]
+pub fn timings_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Starts a span: the current instant when timing is enabled, else `None`.
+#[inline]
+pub fn start() -> Option<Instant> {
+    if timings_enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Closes a span opened by [`start`], attributing the elapsed time to
+/// `name`. A `None` start (timing disabled) is a no-op.
+#[inline]
+pub fn record_span(name: &'static str, started: Option<Instant>) {
+    record_span_units(name, started, 1);
+}
+
+/// Like [`record_span`], but also accumulates `units` inner iterations
+/// (e.g. CFD substeps per `step` call), so the report can show per-unit
+/// cost for kernels that batch their inner loop.
+#[inline]
+pub fn record_span_units(name: &'static str, started: Option<Instant>, units: u64) {
+    let Some(started) = started else { return };
+    let elapsed = started.elapsed().as_nanos();
+    let mut map = registry().lock().expect("timing registry poisoned");
+    let agg = map.entry(name).or_default();
+    agg.calls += 1;
+    agg.units += units;
+    agg.total_ns += elapsed;
+    agg.min_ns = if agg.calls == 1 {
+        elapsed
+    } else {
+        agg.min_ns.min(elapsed)
+    };
+    agg.max_ns = agg.max_ns.max(elapsed);
+}
+
+/// Pre-registers `name` with zero samples, so reports name every
+/// instrumented kernel even when a given workload never reached it.
+pub fn declare_span(name: &'static str) {
+    registry()
+        .lock()
+        .expect("timing registry poisoned")
+        .entry(name)
+        .or_default();
+}
+
+/// Clears all aggregates (the enabled flag is left as is).
+pub fn reset_timings() {
+    registry().lock().expect("timing registry poisoned").clear();
+}
+
+/// Aggregated statistics of one span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Span name (e.g. `cfd.substep`).
+    pub name: &'static str,
+    /// Number of recorded calls.
+    pub calls: u64,
+    /// Total inner iterations across calls (= `calls` unless the producer
+    /// passed an explicit unit count).
+    pub units: u64,
+    /// Summed wall-clock nanoseconds.
+    pub total_ns: u128,
+    /// Cheapest call, nanoseconds.
+    pub min_ns: u128,
+    /// Costliest call, nanoseconds.
+    pub max_ns: u128,
+}
+
+impl SpanStats {
+    /// Mean nanoseconds per call (0 when never called).
+    pub fn mean_ns(&self) -> u128 {
+        if self.calls == 0 {
+            0
+        } else {
+            self.total_ns / self.calls as u128
+        }
+    }
+
+    /// Mean nanoseconds per inner unit (0 when never called).
+    pub fn per_unit_ns(&self) -> u128 {
+        if self.units == 0 {
+            0
+        } else {
+            self.total_ns / self.units as u128
+        }
+    }
+}
+
+/// Snapshot of every span aggregate, sorted by name.
+pub fn timing_report() -> Vec<SpanStats> {
+    let map = registry().lock().expect("timing registry poisoned");
+    let mut spans: Vec<SpanStats> = map
+        .iter()
+        .map(|(&name, a)| SpanStats {
+            name,
+            calls: a.calls,
+            units: a.units,
+            total_ns: a.total_ns,
+            min_ns: a.min_ns,
+            max_ns: a.max_ns,
+        })
+        .collect();
+    spans.sort_by_key(|s| s.name);
+    spans
+}
+
+/// Renders the report as an aligned console table.
+pub fn render_timing_report() -> String {
+    let spans = timing_report();
+    let mut out = String::from(
+        "span                        calls      total ms    mean us     units   per-unit us\n",
+    );
+    for s in &spans {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>9} {:>13.3} {:>10.2} {:>9} {:>13.3}",
+            s.name,
+            s.calls,
+            s.total_ns as f64 / 1e6,
+            s.mean_ns() as f64 / 1e3,
+            s.units,
+            s.per_unit_ns() as f64 / 1e3,
+        );
+    }
+    out
+}
+
+/// Serializes the report as a JSON array in the bench-export shape
+/// (`[{name, median_ns, mean_ns, min_ns, samples}, …]`, names prefixed
+/// `span/`), so span timings can be folded into `BENCH_thermal.json`.
+/// Spans with zero calls are omitted (they carry no measurement).
+pub fn timing_report_bench_json() -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    for s in timing_report() {
+        if s.calls == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let mut o = JsonObject::new();
+        // Per-call mean stands in for the median: spans aggregate online
+        // and keep no per-call samples.
+        o.str("name", &format!("span/{}", s.name))
+            .u64("median_ns", s.mean_ns() as u64)
+            .u64("mean_ns", s.mean_ns() as u64)
+            .u64("min_ns", s.min_ns as u64)
+            .u64("samples", s.calls);
+        out.push_str(&o.finish());
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Span state is process-global and shared across #[test] threads, so
+    // each test uses its own span names and avoids asserting on totals.
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        set_timings_enabled(false);
+        let t = start();
+        assert!(t.is_none());
+        record_span("test.disabled", t);
+        assert!(timing_report()
+            .iter()
+            .all(|s| s.name != "test.disabled" || s.calls == 0));
+    }
+
+    #[test]
+    fn enabled_spans_aggregate() {
+        set_timings_enabled(true);
+        for _ in 0..3 {
+            let t = start();
+            std::hint::black_box(1 + 1);
+            record_span_units("test.enabled", t, 10);
+        }
+        set_timings_enabled(false);
+        let spans = timing_report();
+        let s = spans.iter().find(|s| s.name == "test.enabled").unwrap();
+        assert_eq!(s.calls, 3);
+        assert_eq!(s.units, 30);
+        assert!(s.min_ns <= s.max_ns);
+        assert!(s.total_ns >= s.max_ns);
+    }
+
+    #[test]
+    fn declared_spans_appear_with_zero_calls() {
+        declare_span("test.declared_only");
+        let spans = timing_report();
+        let s = spans
+            .iter()
+            .find(|s| s.name == "test.declared_only")
+            .unwrap();
+        assert_eq!(s.calls, 0);
+        assert!(render_timing_report().contains("test.declared_only"));
+        assert!(!timing_report_bench_json().contains("test.declared_only"));
+    }
+
+    #[test]
+    fn bench_json_is_parseable_per_entry() {
+        set_timings_enabled(true);
+        let t = start();
+        record_span("test.json", t);
+        set_timings_enabled(false);
+        let json = timing_report_bench_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"span/test.json\""));
+    }
+}

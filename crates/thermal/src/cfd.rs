@@ -274,12 +274,16 @@ impl CfdModel {
             "server powers must be non-negative"
         );
         assert!(span > Duration::ZERO, "span must be positive");
+        let started = hbm_telemetry::timing::start();
+        let mut substeps: u64 = 0;
         let mut remaining = span.as_seconds();
         while remaining > 0.0 {
             let h = remaining.min(self.dt);
             self.substep(powers, h);
+            substeps += 1;
             remaining -= h;
         }
+        hbm_telemetry::timing::record_span_units("cfd.substep", started, substeps);
     }
 
     /// Runs with constant powers until the mean inlet changes by less than

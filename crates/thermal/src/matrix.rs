@@ -246,6 +246,7 @@ fn run_extraction(
         window >= lag_step,
         "window must cover at least one lag step"
     );
+    let started = hbm_telemetry::timing::start();
     let servers = config.server_count();
     let lags = (window / lag_step).round() as usize;
 
@@ -278,6 +279,7 @@ fn run_extraction(
         data.extend_from_slice(&block);
     }
 
+    hbm_telemetry::timing::record_span_units("heat_matrix.extract", started, servers as u64);
     Extraction {
         matrix: HeatMatrix {
             servers,
@@ -428,6 +430,7 @@ impl HeatMatrixModel {
     pub fn step(&mut self, powers: &[Power]) -> Vec<Temperature> {
         let n = self.matrix.server_count();
         assert_eq!(powers.len(), n, "one power per server required");
+        let started = hbm_telemetry::timing::start();
         let lags = self.matrix.lag_count();
 
         // Rotate the ring backward: yesterday's newest slot becomes age 1.
@@ -444,7 +447,7 @@ impl HeatMatrixModel {
         // Same accumulation order as the original nested-deque version:
         // receiver, then age ascending, then source ascending, skipping
         // zero deviations — so results agree bit for bit.
-        (0..n)
+        let inlets = (0..n)
             .map(|receiver| {
                 let mut t = self.baseline_inlets[receiver];
                 for age in 0..self.filled {
@@ -458,7 +461,9 @@ impl HeatMatrixModel {
                 }
                 Temperature::from_celsius(t.max(self.supply_celsius))
             })
-            .collect()
+            .collect();
+        hbm_telemetry::timing::record_span("heat_matrix.convolve", started);
+        inlets
     }
 
     /// Mean of the latest prediction for a power vector (steps the model).

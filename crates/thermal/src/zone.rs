@@ -110,12 +110,16 @@ impl ZoneModel {
     pub fn step(&mut self, it_load: Power, dt: Duration) -> Temperature {
         assert!(it_load >= Power::ZERO, "IT load must be non-negative");
         assert!(dt > Duration::ZERO, "step duration must be positive");
+        let started = hbm_telemetry::timing::start();
+        let mut substeps: u64 = 0;
         let mut remaining = dt.as_seconds();
         while remaining > 0.0 {
             let h = remaining.min(self.substep.as_seconds());
             self.advance_seconds(it_load, h);
+            substeps += 1;
             remaining -= h;
         }
+        hbm_telemetry::timing::record_span_units("zone.step", started, substeps);
         self.inlet
     }
 

@@ -7,6 +7,10 @@
 #   * heat-matrix model step
 #   * heat-matrix extraction: cold vs memoized (cached)
 #
+# A short traced fig9 run then contributes its kernel timing spans
+# (entries named span/<name>, same shape) to the same JSON, so one file
+# carries both microbenchmarks and in-situ span timings.
+#
 # Usage: scripts/bench_summary.sh [output.json]
 set -eu
 
@@ -15,6 +19,32 @@ out=${1:-"$repo_root/BENCH_thermal.json"}
 
 cd "$repo_root"
 BENCH_JSON="$out" cargo bench -p hbm-bench --bench bench_thermal
+
+# Fold in the kernel spans from a 1-day fig9 run (--timings-json emits the
+# same {name, median_ns, ...} objects, prefixed span/).
+spans_json="$repo_root/target/spans_fig9.json"
+cargo build --release -q -p hbm-experiments
+"$repo_root/target/release/experiments" fig9 --days 1 --warmup-days 0 --seed 1 \
+    --out "$repo_root/target/bench_fig9_out" \
+    --timings --timings-json "$spans_json" >/dev/null
+span_body=$(tr -d '\n' <"$spans_json" | sed -e 's/^\[//' -e 's/\]$//')
+if [ -n "$span_body" ]; then
+    tmp="$out.tmp"
+    awk -v spans="$span_body" '
+        /^\]$/ {
+            n = split(spans, objs, /\},\{/)
+            for (i = 1; i <= n; i++) {
+                o = objs[i]
+                if (i > 1) o = "{" o
+                if (i < n) o = o "}"
+                printf ",\n  %s", o
+            }
+            printf "\n]\n"
+            next
+        }
+        { print }
+    ' "$out" >"$tmp" && mv "$tmp" "$out"
+fi
 
 echo ""
 echo "wrote $out"
@@ -41,5 +71,16 @@ awk -F'"' '
         step = median["heat_matrix_model_step_40_servers"]
         if (step > 0)
             printf "heat-matrix model step: %.1f us\n", step / 1000
+        plain = median["cfd_step_one_minute_40_servers"]
+        timed = median["cfd_step_one_minute_40_servers_timed"]
+        if (plain > 0 && timed > 0)
+            printf "timing-span overhead on CFD step: %.1f us -> %.1f us (%.1f%%)\n",
+                plain / 1000, timed / 1000, 100 * (timed - plain) / plain
+        sim = median["span/sim.step"]
+        if (sim > 0)
+            printf "in-situ sim.step span (fig9 run): %.2f us/slot\n", sim / 1000
+        zone = median["span/zone.step"]
+        if (zone > 0)
+            printf "in-situ zone.step span (fig9 run): %.2f us/call\n", zone / 1000
     }
 ' "$out"
