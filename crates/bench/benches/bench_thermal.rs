@@ -1,10 +1,14 @@
 //! Thermal-substrate benchmarks (Figs. 7a, 11a, 14a): the zone model, the
-//! CFD-lite transient, and heat-matrix extraction.
+//! CFD-lite transient, heat-matrix extraction, and end-to-end simulator
+//! throughput.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use hbm_bench::gather::GatherHeatMatrixModel;
 use hbm_bench::nested::NestedCfdModel;
+use hbm_core::{ColoConfig, ForesightedPolicy, Simulation};
+use hbm_telemetry::MemoryRecorder;
 use hbm_thermal::{
     clear_heat_matrix_cache, extract_heat_matrix, CfdConfig, CfdModel, HeatMatrixModel, ZoneModel,
 };
@@ -100,6 +104,47 @@ fn cfd_model(c: &mut Criterion) {
         b.iter(|| model.step(black_box(&excursion)));
     });
 
+    // Allocation-free entry point with a reused output buffer — the shape
+    // hot loops are expected to use.
+    c.bench_function("heat_matrix_model_step_into_40_servers", |b| {
+        let config = CfdConfig::paper_default();
+        let n = config.server_count();
+        let baseline = vec![Power::from_watts(150.0); n];
+        let mut model = HeatMatrixModel::from_cfd(
+            &config,
+            &baseline,
+            Power::from_watts(300.0),
+            Duration::from_minutes(10.0),
+            Duration::from_minutes(1.0),
+        );
+        let mut excursion = baseline.clone();
+        excursion[3] = Power::from_watts(420.0);
+        let mut out = vec![0.0; n];
+        b.iter(|| {
+            model.step_into(black_box(&excursion), &mut out);
+            out[0]
+        });
+    });
+
+    // The pre-scatter gather kernel, same work as above: the baseline the
+    // scatter-on-arrival HeatMatrixModel is measured against.
+    c.bench_function("heat_matrix_model_step_40_servers_gather_baseline", |b| {
+        let config = CfdConfig::paper_default();
+        let n = config.server_count();
+        let baseline = vec![Power::from_watts(150.0); n];
+        let model = HeatMatrixModel::from_cfd(
+            &config,
+            &baseline,
+            Power::from_watts(300.0),
+            Duration::from_minutes(10.0),
+            Duration::from_minutes(1.0),
+        );
+        let mut reference = GatherHeatMatrixModel::from_model(&model);
+        let mut excursion = baseline.clone();
+        excursion[3] = Power::from_watts(420.0);
+        b.iter(|| reference.step(black_box(&excursion)));
+    });
+
     let mut group = c.benchmark_group("matrix");
     group.sample_size(10);
     let small = CfdConfig {
@@ -133,5 +178,39 @@ fn cfd_model(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, zone_model, cfd_model);
+/// End-to-end steady-loop throughput: one simulated minute-slot per
+/// iteration (median_ns → slots/sec is printed by
+/// `scripts/bench_summary.sh`). The paper-default colocation (40 servers),
+/// learning attacker, wrapping two-day trace.
+fn sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_step_slots_per_sec");
+    group.sample_size(20);
+
+    group.bench_function("recorder_off", |b| {
+        let config = ColoConfig::paper_default().with_trace_len(2 * 1440);
+        let mut sim = Simulation::new(
+            config,
+            Box::new(ForesightedPolicy::paper_default(14.0, 1)),
+            1,
+        );
+        sim.warmup(1440);
+        b.iter(|| black_box(sim.step()));
+    });
+
+    group.bench_function("recorder_on", |b| {
+        let config = ColoConfig::paper_default().with_trace_len(2 * 1440);
+        let mut sim = Simulation::new(
+            config,
+            Box::new(ForesightedPolicy::paper_default(14.0, 1)),
+            1,
+        );
+        sim.warmup(1440);
+        sim.set_recorder(Box::new(MemoryRecorder::new()));
+        b.iter(|| black_box(sim.step()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, zone_model, cfd_model, sim_throughput);
 criterion_main!(benches);

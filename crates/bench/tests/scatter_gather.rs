@@ -1,0 +1,129 @@
+//! Property-based equivalence of the scatter-on-arrival heat-matrix kernel
+//! (`hbm_thermal::HeatMatrixModel`) with the pre-rewrite gather reference
+//! (`hbm_bench::gather::GatherHeatMatrixModel`).
+//!
+//! The two kernels evaluate the same convolution in different summation
+//! orders, so agreement is asserted at 1e-9 (see `docs/PERFORMANCE.md` for
+//! the tolerance policy). Cases sweep server counts, lag counts, synthetic
+//! response matrices (including negative entries), multi-source power
+//! sequences, and a mid-run `reset()`.
+
+use hbm_bench::gather::GatherHeatMatrixModel;
+use hbm_thermal::{HeatMatrix, HeatMatrixModel};
+use hbm_units::{Duration, Power, Temperature};
+use proptest::prelude::*;
+
+const TOL: f64 = 1e-9;
+
+/// Upper bounds for the generated pools (the body truncates to the drawn
+/// `servers`/`lags`/`steps`; the vendored proptest has no `prop_flat_map`,
+/// so sizes cannot depend on other arguments at generation time).
+const MAX_SERVERS: usize = 6;
+const MAX_LAGS: usize = 8;
+const MAX_STEPS: usize = 32;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn scatter_matches_gather_with_mid_run_reset(
+        servers in 1usize..MAX_SERVERS + 1,
+        lags in 1usize..MAX_LAGS + 1,
+        responses in prop::collection::vec(
+            -0.002..0.01f64,
+            MAX_SERVERS * MAX_SERVERS * MAX_LAGS,
+        ),
+        base_inlet in 20.0..30.0f64,
+        supply in 18.0..26.0f64,
+        steps in 2usize..MAX_STEPS + 1,
+        sources_a in prop::collection::vec(0usize..MAX_SERVERS, MAX_STEPS),
+        sources_b in prop::collection::vec(0usize..MAX_SERVERS, MAX_STEPS),
+        watts_a in prop::collection::vec(-250.0..450.0f64, MAX_STEPS),
+        watts_b in prop::collection::vec(-250.0..450.0f64, MAX_STEPS),
+        reset_at in 0usize..MAX_STEPS,
+    ) {
+        let data: Vec<f64> = responses[..servers * servers * lags].to_vec();
+        let matrix = HeatMatrix::from_raw(servers, lags, Duration::from_minutes(1.0), data);
+        let baseline = vec![Power::from_watts(150.0); servers];
+        let inlets: Vec<Temperature> = (0..servers)
+            .map(|s| Temperature::from_celsius(base_inlet + 0.1 * s as f64))
+            .collect();
+
+        let mut scatter = HeatMatrixModel::new(
+            matrix.clone(),
+            baseline.clone(),
+            inlets.clone(),
+            Temperature::from_celsius(supply),
+        );
+        let mut reference = GatherHeatMatrixModel::new(
+            matrix,
+            baseline.clone(),
+            inlets.iter().map(|t| t.as_celsius()).collect(),
+            supply,
+        );
+
+        let mut out = vec![0.0; servers];
+        for k in 0..steps {
+            if k == reset_at {
+                scatter.reset();
+                reference.reset();
+            }
+            // Up to two deviating sources per step (they may collide, which
+            // just doubles one deviation — also worth covering).
+            let mut powers = baseline.clone();
+            powers[sources_a[k] % servers] += Power::from_watts(watts_a[k]);
+            powers[sources_b[k] % servers] += Power::from_watts(watts_b[k]);
+            let want = reference.step(&powers);
+            scatter.step_into(&powers, &mut out);
+            for (s, (&a, &b)) in want.iter().zip(&out).enumerate() {
+                prop_assert!(
+                    (a - b).abs() <= TOL,
+                    "step {k} server {s}: gather {a:.17e} vs scatter {b:.17e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_step_wrapper_matches_gather(
+        servers in 1usize..MAX_SERVERS + 1,
+        lags in 1usize..MAX_LAGS + 1,
+        responses in prop::collection::vec(
+            0.0..0.008f64,
+            MAX_SERVERS * MAX_SERVERS * MAX_LAGS,
+        ),
+        watts in prop::collection::vec(-150.0..350.0f64, MAX_STEPS),
+    ) {
+        let data: Vec<f64> = responses[..servers * servers * lags].to_vec();
+        let matrix = HeatMatrix::from_raw(servers, lags, Duration::from_minutes(1.0), data);
+        let baseline = vec![Power::from_watts(150.0); servers];
+        let inlets = vec![Temperature::from_celsius(25.0); servers];
+
+        let mut scatter = HeatMatrixModel::new(
+            matrix.clone(),
+            baseline.clone(),
+            inlets.clone(),
+            Temperature::from_celsius(20.0),
+        );
+        let mut reference = GatherHeatMatrixModel::new(
+            matrix,
+            baseline.clone(),
+            inlets.iter().map(|t| t.as_celsius()).collect(),
+            20.0,
+        );
+
+        for (k, &w) in watts.iter().enumerate() {
+            let mut powers = baseline.clone();
+            powers[k % servers] += Power::from_watts(w);
+            let want = reference.step(&powers);
+            let got = scatter.step(&powers);
+            for (s, (&a, b)) in want.iter().zip(&got).enumerate() {
+                prop_assert!(
+                    (a - b.as_celsius()).abs() <= TOL,
+                    "step {k} server {s}: gather {a:.17e} vs scatter {:.17e}",
+                    b.as_celsius()
+                );
+            }
+        }
+    }
+}

@@ -592,8 +592,8 @@ impl ForesightedPolicy {
     /// traps tabular learning in a dribble equilibrium — the long recharge
     /// corridor is invisible at the battery-grid resolution. Continuing an
     /// already-committed attack bypasses this gate.
-    fn allowed_for_soc(&self, soc: f64, stored_ok: bool) -> Vec<usize> {
-        let mut allowed = Vec::with_capacity(3);
+    fn allowed_for_soc(&self, soc: f64, stored_ok: bool) -> AllowedActions {
+        let mut allowed = AllowedActions::new();
         if soc < 0.999 {
             allowed.push(AttackAction::Charge.index());
         }
@@ -829,6 +829,37 @@ impl AttackPolicy for ForesightedPolicy {
             post,
             delta,
         );
+    }
+}
+
+/// Fixed-capacity list of allowed action indices, in the tie-breaking order
+/// `allowed_for_soc` documents. `decide` and `learn` both build one every
+/// slot, so this stays on the stack — a `Vec` here was the last per-slot
+/// heap allocation in the simulator's steady loop.
+#[derive(Debug, Clone, Copy)]
+struct AllowedActions {
+    actions: [usize; AttackAction::COUNT],
+    len: usize,
+}
+
+impl AllowedActions {
+    fn new() -> Self {
+        AllowedActions {
+            actions: [0; AttackAction::COUNT],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, action: usize) {
+        self.actions[self.len] = action;
+        self.len += 1;
+    }
+}
+
+impl std::ops::Deref for AllowedActions {
+    type Target = [usize];
+    fn deref(&self) -> &[usize] {
+        &self.actions[..self.len]
     }
 }
 

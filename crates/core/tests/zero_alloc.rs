@@ -1,0 +1,89 @@
+//! Proof that the simulator's steady loop performs zero heap allocations
+//! per slot.
+//!
+//! A counting wrapper around the system allocator measures `Simulation::step`
+//! after construction and warm-up. This lives in its own integration-test
+//! binary with a single `#[test]`, because the counter is process-global:
+//! any concurrently running test would pollute it.
+//!
+//! The library forbids `unsafe`; this test crate needs it only to implement
+//! `GlobalAlloc` for the counting wrapper.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hbm_core::{ColoConfig, ForesightedPolicy, MyopicPolicy, Simulation};
+use hbm_units::Power;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to the system allocator unchanged; the
+// only addition is a relaxed atomic increment, which allocates nothing.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Steps `sim` for `slots` slots and returns how many heap allocations the
+/// stepping performed.
+fn allocations_during(sim: &mut Simulation, slots: u64) -> u64 {
+    let before = allocations();
+    for _ in 0..slots {
+        let record = sim.step();
+        std::hint::black_box(&record);
+    }
+    allocations() - before
+}
+
+#[test]
+fn steady_loop_allocates_nothing() {
+    let config = ColoConfig::paper_default().with_trace_len(1440);
+
+    // The learning attacker exercises the most machinery per slot: side
+    // channel, EMA filter, campaign bookkeeping, batch Q-learning update,
+    // zone model, protocol, metrics. Warm-up runs through the teacher
+    // phase and several emergency/recovery cycles first.
+    let policy = ForesightedPolicy::paper_default(14.0, 1);
+    let mut sim = Simulation::new(config.clone(), Box::new(policy), 1);
+    sim.warmup(10 * 1440);
+    let with_learning = allocations_during(&mut sim, 1440);
+    assert_eq!(
+        with_learning, 0,
+        "foresighted steady loop must not touch the heap (got {with_learning} allocations over a day)"
+    );
+
+    // The myopic policy covers the attack-triggering non-learning path.
+    let policy = MyopicPolicy::new(Power::from_kilowatts(7.4));
+    let mut sim = Simulation::new(config, Box::new(policy), 2);
+    sim.warmup(2 * 1440);
+    let myopic = allocations_during(&mut sim, 1440);
+    assert_eq!(
+        myopic, 0,
+        "myopic steady loop must not touch the heap (got {myopic} allocations over a day)"
+    );
+}

@@ -112,6 +112,7 @@ fn main() {
             "cfd.substep",
             "heat_matrix.convolve",
             "heat_matrix.extract",
+            "matrix.scatter",
             "zone.step",
             "sim.step",
             "rl.batch_update",

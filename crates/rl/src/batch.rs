@@ -93,9 +93,12 @@ impl BatchQLearning {
         F: Fn(usize, usize) -> usize,
     {
         assert!(!allowed.is_empty(), "no allowed actions");
+        // One row lookup bounds-checks the state once; per-action `get`
+        // calls would recheck it on every iteration.
+        let row = self.q.row(s);
         allowed
             .iter()
-            .map(|&a| self.q.get(s, a) + self.gamma * self.v[post(s, a)])
+            .map(|&a| row[a] + self.gamma * self.v[post(s, a)])
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
@@ -111,10 +114,11 @@ impl BatchQLearning {
         F: Fn(usize, usize) -> usize,
     {
         assert!(!allowed.is_empty(), "no allowed actions");
+        let row = self.q.row(s);
         let mut best = allowed[0];
         let mut best_v = f64::NEG_INFINITY;
         for &a in allowed {
-            let v = self.q.get(s, a) + self.gamma * self.v[post(s, a)];
+            let v = row[a] + self.gamma * self.v[post(s, a)];
             if v > best_v {
                 best = a;
                 best_v = v;

@@ -74,10 +74,14 @@ impl DoubleQLearning {
     /// Panics if `allowed` is empty.
     pub fn select_greedy(&self, s: usize, allowed: &[usize]) -> usize {
         assert!(!allowed.is_empty(), "no allowed actions");
+        // Row slices bounds-check the state once per table instead of once
+        // per action (see [`QTable::row`]).
+        let row_a = self.a.row(s);
+        let row_b = self.b.row(s);
         let mut best = allowed[0];
         let mut best_v = f64::NEG_INFINITY;
         for &a in allowed {
-            let v = self.value(s, a);
+            let v = row_a[a] + row_b[a];
             if v > best_v {
                 best = a;
                 best_v = v;

@@ -99,6 +99,21 @@ impl QTable {
         self.visits[self.idx(s, a)]
     }
 
+    /// All action values of state `s` as one contiguous slice.
+    ///
+    /// Hot selection loops should index this row instead of calling
+    /// [`QTable::get`] per action: `get` bounds-checks the state on *every*
+    /// call (an assert plus the slice's own check), while a row does it once
+    /// and leaves only the in-row slice indexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn row(&self, s: usize) -> &[f64] {
+        assert!(s < self.states, "state index out of range");
+        &self.values[s * self.actions..(s + 1) * self.actions]
+    }
+
     /// Greedy action among `allowed`, ties broken toward the earliest entry.
     ///
     /// # Panics
@@ -106,10 +121,11 @@ impl QTable {
     /// Panics if `allowed` is empty or contains out-of-range actions.
     pub fn best_action(&self, s: usize, allowed: &[usize]) -> usize {
         assert!(!allowed.is_empty(), "no allowed actions");
+        let row = self.row(s);
         let mut best = allowed[0];
-        let mut best_v = self.get(s, allowed[0]);
+        let mut best_v = row[allowed[0]];
         for &a in &allowed[1..] {
-            let v = self.get(s, a);
+            let v = row[a];
             if v > best_v {
                 best = a;
                 best_v = v;
@@ -124,7 +140,7 @@ impl QTable {
     ///
     /// Panics if `allowed` is empty or contains out-of-range actions.
     pub fn max(&self, s: usize, allowed: &[usize]) -> f64 {
-        self.get(s, self.best_action(s, allowed))
+        self.row(s)[self.best_action(s, allowed)]
     }
 
     /// Fills every entry with `v` (used for optimistic initialization).
@@ -171,10 +187,26 @@ mod tests {
     }
 
     #[test]
+    fn row_exposes_one_state_contiguously() {
+        let mut q = QTable::new(2, 3);
+        q.set(1, 0, 4.0);
+        q.set(1, 2, 9.0);
+        assert_eq!(q.row(1), &[4.0, 0.0, 9.0]);
+        assert_eq!(q.row(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_state_rejected() {
         let q = QTable::new(2, 2);
         let _ = q.get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "state index out of range")]
+    fn out_of_range_row_rejected() {
+        let q = QTable::new(2, 2);
+        let _ = q.row(2);
     }
 
     #[test]

@@ -76,6 +76,32 @@ impl HeatMatrix {
             .map(|l| self.response(source, receiver, l))
             .sum()
     }
+
+    /// Builds a matrix from raw impulse-response data (flattened
+    /// `[source][receiver][lag]`, K/W) — for synthetic matrices in tests and
+    /// reference kernels outside this crate; extraction-produced matrices
+    /// should come from [`extract_heat_matrix`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` or `lags` is zero, `lag_step` is non-positive, or
+    /// `data.len() != servers * servers * lags`.
+    pub fn from_raw(servers: usize, lags: usize, lag_step: Duration, data: Vec<f64>) -> Self {
+        assert!(servers > 0, "at least one server required");
+        assert!(lags > 0, "at least one lag step required");
+        assert!(lag_step > Duration::ZERO, "lag step must be positive");
+        assert_eq!(
+            data.len(),
+            servers * servers * lags,
+            "data must hold servers x servers x lags responses"
+        );
+        HeatMatrix {
+            servers,
+            lags,
+            lag_step,
+            data,
+        }
+    }
 }
 
 /// Extracts the heat-distribution matrix from the CFD model.
@@ -297,22 +323,36 @@ fn run_extraction(
 /// convolution of per-server power *deviations* with the impulse responses.
 /// Temperatures are floored at the supply setpoint (the AC never cools below
 /// it, so neither does the linearization).
+///
+/// The convolution is evaluated *scatter-on-arrival*: when a slot's power
+/// vector arrives, each nonzero deviation's whole response column is
+/// scattered once into a ring of pre-accumulated future inlet contributions,
+/// and every step then reads its answer from the ring's current slot in
+/// O(servers). The former gather kernel re-summed `servers × lags × sources`
+/// every step; the scatter form does that work only once per *arrival*, which
+/// in steady state (few sources deviating per slot) is a ~`lags`-fold
+/// reduction. The reference gather kernel lives on in `hbm-bench` as
+/// `GatherHeatMatrixModel`, with equivalence enforced at 1e-9 (the summation
+/// order changes — contributions accumulate in arrival order instead of
+/// newest-age-first — so the two kernels agree to rounding, not bit-for-bit;
+/// see `docs/PERFORMANCE.md`).
 #[derive(Debug, Clone)]
 pub struct HeatMatrixModel {
     matrix: HeatMatrix,
-    /// The matrix's responses transposed to `[receiver][lag][source]`, so
-    /// the convolution's inner (source) loop walks contiguous memory.
-    resp_by_receiver: Vec<f64>,
+    /// The matrix's responses transposed to `[source][lag][receiver]`, so a
+    /// scatter of one source's response at one lag reads *and* writes
+    /// contiguous memory.
+    resp_scatter: Vec<f64>,
     baseline_powers: Vec<Power>,
     baseline_inlets: Vec<f64>,
     supply_celsius: f64,
-    /// Ring buffer of power deviations, `lags × servers` watts; slot
-    /// `head` holds the newest step, ages increase from there.
-    history: Vec<f64>,
-    /// Ring slot of the newest deviation.
+    /// Ring of pre-accumulated future inlet contributions, `lags × servers`
+    /// kelvin: slot `(head + lag) % lags` holds the summed impact, on every
+    /// receiver, of all past arrivals whose response reaches `lag` steps
+    /// ahead of the current slot.
+    pending: Vec<f64>,
+    /// Ring slot the *next* step will read (and then retire).
     head: usize,
-    /// Number of valid history steps (≤ lag count).
-    filled: usize,
 }
 
 impl PartialEq for HeatMatrixModel {
@@ -324,8 +364,8 @@ impl PartialEq for HeatMatrixModel {
             && self.baseline_powers == other.baseline_powers
             && self.baseline_inlets == other.baseline_inlets
             && self.supply_celsius == other.supply_celsius
-            && self.filled == other.filled
-            && (0..self.filled).all(|age| self.history_slice(age) == other.history_slice(age))
+            && (0..self.matrix.lag_count())
+                .all(|lag| self.pending_slice(lag) == other.pending_slice(lag))
     }
 }
 
@@ -360,34 +400,33 @@ impl HeatMatrixModel {
     ) -> Self {
         let n = matrix.server_count();
         let lags = matrix.lag_count();
-        // Transpose [source][receiver][lag] → [receiver][lag][source]; pure
+        // Transpose [source][receiver][lag] → [source][lag][receiver]; pure
         // data movement, every response value is unchanged.
-        let mut resp_by_receiver = vec![0.0; n * n * lags];
+        let mut resp_scatter = vec![0.0; n * n * lags];
         for source in 0..n {
             for receiver in 0..n {
                 for lag in 0..lags {
-                    resp_by_receiver[(receiver * lags + lag) * n + source] =
+                    resp_scatter[(source * lags + lag) * n + receiver] =
                         matrix.data[(source * n + receiver) * lags + lag];
                 }
             }
         }
         HeatMatrixModel {
             matrix,
-            resp_by_receiver,
+            resp_scatter,
             baseline_powers,
             baseline_inlets,
             supply_celsius,
-            history: vec![0.0; lags * n],
+            pending: vec![0.0; lags * n],
             head: 0,
-            filled: 0,
         }
     }
 
-    /// The deviation vector recorded `age` steps ago (0 = newest).
-    fn history_slice(&self, age: usize) -> &[f64] {
+    /// The accumulated contributions `lag` steps ahead of the current slot.
+    fn pending_slice(&self, lag: usize) -> &[f64] {
         let n = self.matrix.server_count();
-        let slot = (self.head + age) % self.matrix.lag_count();
-        &self.history[slot * n..(slot + 1) * n]
+        let slot = (self.head + lag) % self.matrix.lag_count();
+        &self.pending[slot * n..(slot + 1) * n]
     }
 
     /// Convenience constructor: extracts the matrix and records the baseline
@@ -421,63 +460,116 @@ impl HeatMatrixModel {
         &self.matrix
     }
 
+    /// The per-server baseline powers of the operating point.
+    pub fn baseline_powers(&self) -> &[Power] {
+        &self.baseline_powers
+    }
+
+    /// The steady-state inlet temperatures at the operating point, °C.
+    pub fn baseline_inlets_celsius(&self) -> &[f64] {
+        &self.baseline_inlets
+    }
+
+    /// The cooling supply setpoint the predictions are floored at, °C.
+    pub fn supply_celsius(&self) -> f64 {
+        self.supply_celsius
+    }
+
+    /// Scatters this slot's nonzero power deviations into the pending ring.
+    ///
+    /// Each deviating source contributes its whole response column at once:
+    /// `lag_count` contiguous multiply-adds, one ring slot per lag, starting
+    /// at the current slot (the lag-0 response lands in the slot the same
+    /// step reads, matching the gather kernel's age-0 term).
+    fn scatter_arrivals(&mut self, powers: &[Power]) {
+        let n = self.matrix.server_count();
+        let lags = self.matrix.lag_count();
+        let started = hbm_telemetry::timing::start();
+        for (source, (&p, &b)) in powers.iter().zip(&self.baseline_powers).enumerate() {
+            let dw = (p - b).as_watts();
+            if dw == 0.0 {
+                continue;
+            }
+            let resp = &self.resp_scatter[source * lags * n..(source + 1) * lags * n];
+            for (lag, row) in resp.chunks_exact(n).enumerate() {
+                let slot = (self.head + lag) % lags;
+                let pending = &mut self.pending[slot * n..(slot + 1) * n];
+                for (acc, &r) in pending.iter_mut().zip(row) {
+                    *acc += r * dw;
+                }
+            }
+        }
+        hbm_telemetry::timing::record_span("matrix.scatter", started);
+    }
+
+    /// Zeroes the slot just read and advances the ring one step.
+    fn retire_current(&mut self) {
+        let n = self.matrix.server_count();
+        let cur = self.head * n;
+        self.pending[cur..cur + n].fill(0.0);
+        self.head = (self.head + 1) % self.matrix.lag_count();
+    }
+
+    /// Advances one lag step with the given per-server powers, writing the
+    /// predicted inlet temperatures (°C) into `out`. Allocation-free: the
+    /// steady loop can call this every slot without touching the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers.len()` or `out.len()` mismatches the server count.
+    pub fn step_into(&mut self, powers: &[Power], out: &mut [f64]) {
+        let n = self.matrix.server_count();
+        assert_eq!(powers.len(), n, "one power per server required");
+        assert_eq!(out.len(), n, "one output cell per server required");
+        let started = hbm_telemetry::timing::start();
+        self.scatter_arrivals(powers);
+        let current = self.pending_slice(0);
+        for ((o, &dt), &base) in out.iter_mut().zip(current).zip(&self.baseline_inlets) {
+            *o = (base + dt).max(self.supply_celsius);
+        }
+        self.retire_current();
+        hbm_telemetry::timing::record_span("heat_matrix.convolve", started);
+    }
+
     /// Advances one lag step with the given per-server powers and returns
     /// the predicted inlet temperatures.
+    ///
+    /// Thin compatibility wrapper over [`Self::step_into`]; hot loops should
+    /// call `step_into` with a reused buffer instead.
     ///
     /// # Panics
     ///
     /// Panics if `powers.len()` mismatches the server count.
     pub fn step(&mut self, powers: &[Power]) -> Vec<Temperature> {
         let n = self.matrix.server_count();
-        assert_eq!(powers.len(), n, "one power per server required");
-        let started = hbm_telemetry::timing::start();
-        let lags = self.matrix.lag_count();
-
-        // Rotate the ring backward: yesterday's newest slot becomes age 1.
-        self.head = (self.head + lags - 1) % lags;
-        let newest = &mut self.history[self.head * n..(self.head + 1) * n];
-        for (slot, (&p, &b)) in newest
-            .iter_mut()
-            .zip(powers.iter().zip(&self.baseline_powers))
-        {
-            *slot = (p - b).as_watts();
-        }
-        self.filled = (self.filled + 1).min(lags);
-
-        // Same accumulation order as the original nested-deque version:
-        // receiver, then age ascending, then source ascending, skipping
-        // zero deviations — so results agree bit for bit.
-        let inlets = (0..n)
-            .map(|receiver| {
-                let mut t = self.baseline_inlets[receiver];
-                for age in 0..self.filled {
-                    let dev = self.history_slice(age);
-                    let resp = &self.resp_by_receiver[(receiver * lags + age) * n..][..n];
-                    for (source, &dw) in dev.iter().enumerate() {
-                        if dw != 0.0 {
-                            t += resp[source] * dw;
-                        }
-                    }
-                }
-                Temperature::from_celsius(t.max(self.supply_celsius))
-            })
-            .collect();
-        hbm_telemetry::timing::record_span("heat_matrix.convolve", started);
-        inlets
+        let mut out = vec![0.0; n];
+        self.step_into(powers, &mut out);
+        out.into_iter().map(Temperature::from_celsius).collect()
     }
 
     /// Mean of the latest prediction for a power vector (steps the model).
+    ///
+    /// Averages straight off the pending ring — no inlet vector is
+    /// materialized, so this is as allocation-free as [`Self::step_into`].
     pub fn step_mean(&mut self, powers: &[Power]) -> Temperature {
-        let inlets = self.step(powers);
-        let sum: f64 = inlets.iter().map(|t| t.as_celsius()).sum();
-        Temperature::from_celsius(sum / inlets.len() as f64)
+        let n = self.matrix.server_count();
+        assert_eq!(powers.len(), n, "one power per server required");
+        let started = hbm_telemetry::timing::start();
+        self.scatter_arrivals(powers);
+        let mut sum = 0.0;
+        for (&dt, &base) in self.pending_slice(0).iter().zip(&self.baseline_inlets) {
+            sum += (base + dt).max(self.supply_celsius);
+        }
+        self.retire_current();
+        hbm_telemetry::timing::record_span("heat_matrix.convolve", started);
+        Temperature::from_celsius(sum / n as f64)
     }
 
     /// Clears the convolution history (back to the operating point).
     pub fn reset(&mut self) {
-        // Slots are only read up to `filled` ages and rewritten as the
-        // ring refills, so dropping the count is a complete reset.
-        self.filled = 0;
+        // Every pending contribution came from past arrivals; zeroing the
+        // ring forgets them all, which is exactly the operating point.
+        self.pending.fill(0.0);
     }
 }
 
@@ -692,6 +784,95 @@ mod tests {
         let after = heat_matrix_cache_stats();
         assert_eq!(after.misses, before.misses + 1, "cleared entry recomputes");
         assert_eq!(a, b, "recomputation is deterministic");
+    }
+
+    #[test]
+    fn step_into_matches_step() {
+        let config = small_config();
+        let baseline = small_baseline();
+        let build = || {
+            HeatMatrixModel::from_cfd(
+                &config,
+                &baseline,
+                Power::from_watts(120.0),
+                Duration::from_minutes(5.0),
+                Duration::from_minutes(1.0),
+            )
+        };
+        let mut a = build();
+        let mut b = build();
+        let mut out = vec![0.0; 4];
+        for k in 0..12u32 {
+            let mut powers = baseline.clone();
+            powers[(k % 4) as usize] += Power::from_watts(f64::from(k) * 17.0);
+            let temps = a.step(&powers);
+            b.step_into(&powers, &mut out);
+            for (t, &o) in temps.iter().zip(&out) {
+                assert_eq!(t.as_celsius(), o, "wrapper and step_into share the kernel");
+            }
+        }
+    }
+
+    #[test]
+    fn step_mean_matches_mean_of_step() {
+        let config = small_config();
+        let baseline = small_baseline();
+        let build = || {
+            HeatMatrixModel::from_cfd(
+                &config,
+                &baseline,
+                Power::from_watts(120.0),
+                Duration::from_minutes(5.0),
+                Duration::from_minutes(1.0),
+            )
+        };
+        let mut a = build();
+        let mut b = build();
+        let mut powers = baseline.clone();
+        powers[2] += Power::from_watts(250.0);
+        for _ in 0..7 {
+            let inlets = a.step(&powers);
+            let mean: f64 =
+                inlets.iter().map(|t| t.as_celsius()).sum::<f64>() / inlets.len() as f64;
+            let direct = b.step_mean(&powers).as_celsius();
+            assert!(
+                (mean - direct).abs() < 1e-12,
+                "step_mean must average the same prediction: {mean} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn excursion_retires_exactly_after_lag_window() {
+        // Once an arrival's whole response column has been read out, the
+        // ring slot it occupied has been zeroed and the prediction returns
+        // to the baseline *exactly* — no residue wraps around.
+        let config = small_config();
+        let baseline = small_baseline();
+        let mut model = HeatMatrixModel::from_cfd(
+            &config,
+            &baseline,
+            Power::from_watts(120.0),
+            Duration::from_minutes(5.0),
+            Duration::from_minutes(1.0),
+        );
+        let lags = model.matrix().lag_count();
+        let mut hot = baseline.clone();
+        hot[0] += Power::from_watts(300.0);
+        model.step(&hot);
+        let mut out = vec![0.0; 4];
+        for _ in 0..lags - 1 {
+            model.step_into(&baseline, &mut out);
+        }
+        // The excursion's last lag has now been consumed.
+        model.step_into(&baseline, &mut out);
+        for (o, &base) in out.iter().zip(model.baseline_inlets_celsius()) {
+            assert_eq!(
+                *o,
+                base.max(model.supply_celsius()),
+                "expired excursion must leave no residue"
+            );
+        }
     }
 
     #[test]

@@ -69,8 +69,20 @@ awk -F'"' '
             printf "heat-matrix extraction: cold %.1f us vs cached %.3f us  ->  %.0fx faster\n",
                 cold / 1000, cached / 1000, cold / cached
         step = median["heat_matrix_model_step_40_servers"]
-        if (step > 0)
+        gat = median["heat_matrix_model_step_40_servers_gather_baseline"]
+        if (step > 0 && gat > 0)
+            printf "heat-matrix model step: scatter %.2f us vs gather %.1f us  ->  %.1fx faster\n",
+                step / 1000, gat / 1000, gat / step
+        else if (step > 0)
             printf "heat-matrix model step: %.1f us\n", step / 1000
+        off = median["sim_step_slots_per_sec/recorder_off"]
+        on = median["sim_step_slots_per_sec/recorder_on"]
+        if (off > 0)
+            printf "sim steady-loop throughput: %.2fM slots/s (recorder off)", 1000 / off
+        if (off > 0 && on > 0)
+            printf ", %.2fM slots/s (recorder on)", 1000 / on
+        if (off > 0)
+            printf "\n"
         plain = median["cfd_step_one_minute_40_servers"]
         timed = median["cfd_step_one_minute_40_servers_timed"]
         if (plain > 0 && timed > 0)

@@ -8,6 +8,12 @@
 //! Set `BENCH_JSON=/path/out.json` to also write every result as a JSON
 //! array of `{name, median_ns, mean_ns, min_ns, samples}` objects —
 //! `scripts/bench_summary.sh` uses this to build `BENCH_thermal.json`.
+//!
+//! Set `BENCH_SMOKE=1` for a fast correctness pass: calibration stops at
+//! ~100 µs per sample and each benchmark takes at most 5 samples. CI runs
+//! pull requests in this mode so every benchmark body (and the JSON
+//! export) is exercised without the full timing budget; the numbers it
+//! produces are not comparison-grade.
 
 use std::time::{Duration, Instant};
 
@@ -188,9 +194,25 @@ impl Bencher {
     }
 }
 
+/// Whether a `BENCH_SMOKE` env value requests smoke mode (set and neither
+/// empty nor `"0"`).
+fn is_smoke_value(value: Option<&str>) -> bool {
+    value.is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+fn smoke_mode() -> bool {
+    is_smoke_value(std::env::var("BENCH_SMOKE").ok().as_deref())
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) -> Measurement {
     // Calibrate: find an iteration count whose sample takes ~2 ms, so the
-    // per-sample timer error stays small without long runs.
+    // per-sample timer error stays small without long runs. Smoke mode
+    // shrinks both knobs — it only needs to prove the benchmarks run.
+    let (samples, sample_budget) = if smoke_mode() {
+        (samples.min(5), Duration::from_micros(100))
+    } else {
+        (samples, Duration::from_millis(2))
+    };
     let mut iters = 1u64;
     loop {
         let mut b = Bencher {
@@ -198,7 +220,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) 
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+        if b.elapsed >= sample_budget || iters >= 1 << 20 {
             break;
         }
         iters *= 2;
@@ -313,6 +335,15 @@ mod tests {
         g.finish();
         assert_eq!(c.results.len(), 1);
         assert!(c.results[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn smoke_values_parse_as_documented() {
+        assert!(!is_smoke_value(None));
+        assert!(!is_smoke_value(Some("")));
+        assert!(!is_smoke_value(Some("0")));
+        assert!(is_smoke_value(Some("1")));
+        assert!(is_smoke_value(Some("true")));
     }
 
     #[test]
