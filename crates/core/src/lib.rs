@@ -44,6 +44,7 @@ mod config;
 mod cost;
 mod fleet;
 mod metrics;
+pub mod scenario;
 mod sim;
 
 pub use attacker::{
@@ -54,6 +55,7 @@ pub use config::ColoConfig;
 pub use cost::{CostModel, CostReport};
 pub use fleet::{coordinated_one_shot, Fleet, FleetReport};
 pub use metrics::Metrics;
+pub use scenario::Scenario;
 pub use sim::{SimReport, Simulation, SlotRecord};
 
 /// The crate version, for run manifests.

@@ -1,0 +1,455 @@
+//! Shared scenario construction — one code path for every front end.
+//!
+//! The `experiments` CLI and the `hbm-serve` daemon both turn a small
+//! declarative description (attacker policy, horizon, seed, optional
+//! tenant-mix and defense overrides) into a configured [`Simulation`] and
+//! run it. This module is that single code path, so served results can
+//! never drift from CLI results: both build policies with
+//! [`build_policy`]/[`default_policies`], run them with [`run_policy`],
+//! derive the cache/manifest key with [`Scenario::config_canonical`], and
+//! serialize the outcome with [`metrics_json`].
+
+use hbm_telemetry::fnv1a64;
+use hbm_telemetry::json::{parse_flat_object, JsonObject, JsonValue};
+use hbm_units::{Energy, Power, Temperature};
+
+use crate::{
+    AttackPolicy, ColoConfig, ForesightedPolicy, Metrics, MyopicPolicy, RandomPolicy, SimReport,
+    Simulation,
+};
+
+/// The attack-policy names [`build_policy`] accepts, in canonical order.
+pub const POLICY_NAMES: &[&str] = &["random", "myopic", "foresighted"];
+
+/// Canonical one-line description of a run configuration. This exact
+/// string is hashed into `manifest.json`'s `config_hash` by both front
+/// ends and keys the `hbm-serve` scenario cache.
+pub fn config_canonical_base(ids: &str, days: u64, warmup_days: u64, seed: u64) -> String {
+    format!("ids={ids};days={days};warmup_days={warmup_days};seed={seed}")
+}
+
+/// Builds one attack policy by name at its paper-default settings,
+/// returning the policy and whether it needs a learning warm-up.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown policy and listing
+/// [`POLICY_NAMES`].
+#[allow(clippy::type_complexity)]
+pub fn build_policy(
+    name: &str,
+    config: &ColoConfig,
+    seed: u64,
+) -> Result<(Box<dyn AttackPolicy>, bool), String> {
+    match name {
+        "random" => Ok((
+            Box::new(RandomPolicy::new(
+                0.08,
+                config.attack_load,
+                config.slot,
+                seed,
+            )),
+            false,
+        )),
+        "myopic" => Ok((
+            Box::new(MyopicPolicy::new(Power::from_kilowatts(7.4))),
+            false,
+        )),
+        "foresighted" => Ok((Box::new(ForesightedPolicy::paper_default(14.0, seed)), true)),
+        other => Err(format!(
+            "unknown policy {other:?} (expected one of {})",
+            POLICY_NAMES.join(", ")
+        )),
+    }
+}
+
+/// The canonical trio of repeated-attack policies at their default
+/// settings, as `(name, policy, needs_warmup)` rows.
+#[allow(clippy::type_complexity)]
+pub fn default_policies(
+    config: &ColoConfig,
+    seed: u64,
+) -> Vec<(String, Box<dyn AttackPolicy>, bool)> {
+    POLICY_NAMES
+        .iter()
+        .map(|name| {
+            let (policy, warmup) =
+                build_policy(name, config, seed).expect("POLICY_NAMES entries always build");
+            (name.to_string(), policy, warmup)
+        })
+        .collect()
+}
+
+/// Builds and runs a simulation, warming up learning policies first.
+pub fn run_policy(
+    config: &ColoConfig,
+    policy: Box<dyn AttackPolicy>,
+    seed: u64,
+    warmup_slots: u64,
+    slots: u64,
+    needs_warmup: bool,
+) -> SimReport {
+    let mut sim = Simulation::new(config.clone(), policy, seed);
+    if needs_warmup {
+        sim.warmup(warmup_slots);
+    }
+    sim.run(slots)
+}
+
+/// A declarative simulation request: the fields a front end (CLI flags or
+/// an `hbm-serve` request body) may set, everything else at paper
+/// defaults.
+///
+/// The optional overrides cover the knobs the paper sweeps: tenant mix
+/// (mean utilization of the colocation), attack intensity (battery-fed
+/// load and battery capacity), and the operator's defense configuration
+/// (emergency threshold and per-server cap).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Attack policy name (one of [`POLICY_NAMES`]).
+    pub policy: String,
+    /// Measured horizon, days.
+    pub days: u64,
+    /// Learning warm-up horizon, days (used by policies that learn).
+    pub warmup_days: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Mean utilization of the colocation capacity in `[0, 1]`
+    /// (tenant mix; `None` keeps the paper-default trace).
+    pub utilization: Option<f64>,
+    /// Battery-fed attack load, kW.
+    pub attack_load_kw: Option<f64>,
+    /// Attacker battery capacity, kWh.
+    pub battery_kwh: Option<f64>,
+    /// Defense: emergency-declaration inlet threshold, °C.
+    pub threshold_c: Option<f64>,
+    /// Defense: per-server emergency power cap, W.
+    pub cap_w: Option<f64>,
+}
+
+impl Scenario {
+    /// A scenario for `policy` at the CLI's default horizon
+    /// (365 measured days, 180 warm-up days, seed 1).
+    pub fn new(policy: impl Into<String>) -> Self {
+        Scenario {
+            policy: policy.into(),
+            days: 365,
+            warmup_days: 180,
+            seed: 1,
+            utilization: None,
+            attack_load_kw: None,
+            battery_kwh: None,
+            threshold_c: None,
+            cap_w: None,
+        }
+    }
+
+    /// Measured slots.
+    pub fn slots(&self) -> u64 {
+        self.days * 24 * 60
+    }
+
+    /// Warm-up slots.
+    pub fn warmup_slots(&self) -> u64 {
+        self.warmup_days * 24 * 60
+    }
+
+    /// The canonical one-line configuration string: the CLI's base form,
+    /// with one `;key=value` suffix per override actually set (in the
+    /// fixed order `util`, `attack_load_kw`, `battery_kwh`, `threshold_c`,
+    /// `cap_w`). A scenario without overrides is byte-identical to the
+    /// CLI's canonical string for the same policy id and horizon.
+    pub fn config_canonical(&self) -> String {
+        let mut s = config_canonical_base(&self.policy, self.days, self.warmup_days, self.seed);
+        for (key, value) in [
+            ("util", self.utilization),
+            ("attack_load_kw", self.attack_load_kw),
+            ("battery_kwh", self.battery_kwh),
+            ("threshold_c", self.threshold_c),
+            ("cap_w", self.cap_w),
+        ] {
+            if let Some(v) = value {
+                s.push_str(&format!(";{key}={v}"));
+            }
+        }
+        s
+    }
+
+    /// The FNV-1a hash of [`Scenario::config_canonical`], hex — the same
+    /// value `manifest.json` records as `config_hash`.
+    pub fn config_hash(&self) -> String {
+        format!("{:016x}", fnv1a64(self.config_canonical().as_bytes()))
+    }
+
+    /// Builds the colocation configuration with all overrides applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first invalid field.
+    pub fn build_config(&self) -> Result<ColoConfig, String> {
+        if self.days == 0 {
+            return Err("days must be at least 1".into());
+        }
+        let mut config = ColoConfig::paper_default();
+        if let Some(u) = self.utilization {
+            if !(0.0..=1.0).contains(&u) {
+                return Err(format!("utilization must be in [0, 1], got {u}"));
+            }
+            config = config.with_mean_utilization(u);
+        }
+        if let Some(kw) = self.attack_load_kw {
+            if kw.is_nan() || kw <= 0.0 {
+                return Err(format!("attack_load_kw must be positive, got {kw}"));
+            }
+            config = config.with_attack_load(Power::from_kilowatts(kw));
+        }
+        if let Some(kwh) = self.battery_kwh {
+            if kwh.is_nan() || kwh <= 0.0 {
+                return Err(format!("battery_kwh must be positive, got {kwh}"));
+            }
+            config = config.with_battery_capacity(Energy::from_kilowatt_hours(kwh));
+        }
+        if let Some(c) = self.threshold_c {
+            if !c.is_finite() {
+                return Err(format!("threshold_c must be finite, got {c}"));
+            }
+            config.protocol.threshold = Temperature::from_celsius(c);
+        }
+        if let Some(w) = self.cap_w {
+            if w.is_nan() || w <= 0.0 {
+                return Err(format!("cap_w must be positive, got {w}"));
+            }
+            config.protocol.cap_per_server = Power::from_watts(w);
+        }
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Builds the configuration and policy, runs the simulation (warming
+    /// up learning policies), and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown policy or invalid configuration;
+    /// never panics on bad input.
+    pub fn run(&self) -> Result<SimReport, String> {
+        let config = self.build_config()?;
+        let (policy, needs_warmup) = build_policy(&self.policy, &config, self.seed)?;
+        Ok(run_policy(
+            &config,
+            policy,
+            self.seed,
+            self.warmup_slots(),
+            self.slots(),
+            needs_warmup,
+        ))
+    }
+
+    /// Parses a scenario from one flat JSON object (an `hbm-serve`
+    /// request body). `policy` is required; every other field defaults as
+    /// in [`Scenario::new`]. Unknown keys are rejected so typos fail
+    /// loudly instead of silently running the wrong scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed field.
+    pub fn from_flat_json(body: &str) -> Result<Scenario, String> {
+        let fields = parse_flat_object(body)?;
+        let mut scenario = Scenario::new("");
+        for (key, value) in fields {
+            match key.as_str() {
+                "policy" => {
+                    scenario.policy = value.as_str().ok_or("policy must be a string")?.to_string();
+                }
+                "days" => scenario.days = json_u64(&key, &value)?,
+                "warmup_days" => scenario.warmup_days = json_u64(&key, &value)?,
+                "seed" => scenario.seed = json_u64(&key, &value)?,
+                "utilization" => scenario.utilization = Some(json_f64(&key, &value)?),
+                "attack_load_kw" => scenario.attack_load_kw = Some(json_f64(&key, &value)?),
+                "battery_kwh" => scenario.battery_kwh = Some(json_f64(&key, &value)?),
+                "threshold_c" => scenario.threshold_c = Some(json_f64(&key, &value)?),
+                "cap_w" => scenario.cap_w = Some(json_f64(&key, &value)?),
+                other => return Err(format!("unknown field {other:?}")),
+            }
+        }
+        if scenario.policy.is_empty() {
+            return Err("missing required field \"policy\"".into());
+        }
+        Ok(scenario)
+    }
+}
+
+fn json_f64(key: &str, value: &JsonValue) -> Result<f64, String> {
+    value
+        .as_f64()
+        .ok_or_else(|| format!("{key} must be a number"))
+}
+
+fn json_u64(key: &str, value: &JsonValue) -> Result<u64, String> {
+    let v = json_f64(key, value)?;
+    if v < 0.0 || v.fract() != 0.0 || v > u64::MAX as f64 {
+        return Err(format!("{key} must be a non-negative integer, got {v}"));
+    }
+    Ok(v as u64)
+}
+
+/// Serializes a run's aggregate metrics as one flat JSON line — the
+/// `hbm-serve` response body and the CLI `simulate` output, byte-identical
+/// between the two for the same canonical configuration.
+pub fn metrics_json(canonical: &str, m: &Metrics) -> String {
+    let mut o = JsonObject::new();
+    o.str(
+        "config_hash",
+        &format!("{:016x}", fnv1a64(canonical.as_bytes())),
+    )
+    .u64("slots", m.slots)
+    .u64("emergency_slots", m.emergency_slots)
+    .u64("emergency_events", m.emergency_events)
+    .u64("outage_events", m.outage_events)
+    .u64("outage_slots", m.outage_slots)
+    .u64("attack_slots", m.attack_slots)
+    .f64("attack_kwh", m.attack_energy.as_kilowatt_hours())
+    .f64("attack_hours_per_day", m.attack_hours_per_day())
+    .f64("emergency_fraction", m.emergency_fraction())
+    .f64("avg_delta_t_c", m.avg_delta_t().as_celsius())
+    .f64("mean_emergency_degradation", m.mean_emergency_degradation())
+    .f64(
+        "attacker_metered_kwh",
+        m.attacker_metered_energy.as_kilowatt_hours(),
+    )
+    .f64(
+        "attacker_actual_kwh",
+        m.attacker_actual_energy.as_kilowatt_hours(),
+    );
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn golden() -> Scenario {
+        let mut s = Scenario::new("myopic");
+        s.days = 1;
+        s.warmup_days = 0;
+        s.seed = 7;
+        s
+    }
+
+    #[test]
+    fn canonical_matches_cli_base_form_without_overrides() {
+        let s = golden();
+        assert_eq!(
+            s.config_canonical(),
+            config_canonical_base("myopic", 1, 0, 7)
+        );
+        assert_eq!(
+            s.config_canonical(),
+            "ids=myopic;days=1;warmup_days=0;seed=7"
+        );
+    }
+
+    #[test]
+    fn canonical_appends_overrides_in_fixed_order() {
+        let mut s = golden();
+        s.cap_w = Some(100.0);
+        s.utilization = Some(0.5);
+        assert_eq!(
+            s.config_canonical(),
+            "ids=myopic;days=1;warmup_days=0;seed=7;util=0.5;cap_w=100"
+        );
+    }
+
+    #[test]
+    fn scenario_run_matches_default_policies_path() {
+        // The CLI builds its trio through default_policies + run_policy;
+        // the server builds one policy through Scenario::run. Same
+        // canonical config must mean identical Metrics.
+        let s = golden();
+        let config = ColoConfig::paper_default();
+        let (name, policy, warmup) = default_policies(&config, s.seed)
+            .into_iter()
+            .find(|(name, _, _)| name == "myopic")
+            .unwrap();
+        let cli = run_policy(&config, policy, s.seed, s.warmup_slots(), s.slots(), warmup);
+        let served = s.run().unwrap();
+        assert_eq!(name, s.policy);
+        assert_eq!(cli.metrics, served.metrics);
+        assert_eq!(
+            metrics_json(&s.config_canonical(), &cli.metrics),
+            metrics_json(&s.config_canonical(), &served.metrics)
+        );
+    }
+
+    #[test]
+    fn from_flat_json_parses_and_defaults() {
+        let s = Scenario::from_flat_json(
+            "{\"policy\":\"random\",\"days\":2,\"warmup_days\":0,\"seed\":9,\"utilization\":0.5}",
+        )
+        .unwrap();
+        assert_eq!(s.policy, "random");
+        assert_eq!(s.days, 2);
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.utilization, Some(0.5));
+        assert_eq!(s.attack_load_kw, None);
+
+        let d = Scenario::from_flat_json("{\"policy\":\"myopic\"}").unwrap();
+        assert_eq!(d.days, 365);
+        assert_eq!(d.warmup_days, 180);
+        assert_eq!(d.seed, 1);
+    }
+
+    #[test]
+    fn from_flat_json_rejects_bad_input() {
+        assert!(Scenario::from_flat_json("{}").is_err());
+        assert!(Scenario::from_flat_json("{\"policy\":\"myopic\",\"dyas\":1}").is_err());
+        assert!(Scenario::from_flat_json("{\"policy\":\"myopic\",\"days\":-1}").is_err());
+        assert!(Scenario::from_flat_json("{\"policy\":\"myopic\",\"days\":1.5}").is_err());
+        assert!(Scenario::from_flat_json("{\"policy\":3}").is_err());
+        assert!(Scenario::from_flat_json("not json").is_err());
+    }
+
+    #[test]
+    fn build_config_applies_and_validates_overrides() {
+        let mut s = golden();
+        s.attack_load_kw = Some(2.0);
+        s.battery_kwh = Some(0.4);
+        s.threshold_c = Some(33.0);
+        s.cap_w = Some(100.0);
+        let config = s.build_config().unwrap();
+        assert_eq!(config.attack_load, Power::from_kilowatts(2.0));
+        assert_eq!(config.battery.capacity, Energy::from_kilowatt_hours(0.4));
+        assert_eq!(config.protocol.threshold, Temperature::from_celsius(33.0));
+        assert_eq!(config.protocol.cap_per_server, Power::from_watts(100.0));
+
+        let mut bad = golden();
+        bad.utilization = Some(1.5);
+        assert!(bad.build_config().is_err());
+        let mut bad = golden();
+        bad.attack_load_kw = Some(-1.0);
+        assert!(bad.build_config().is_err());
+        let mut bad = golden();
+        bad.days = 0;
+        assert!(bad.build_config().is_err());
+    }
+
+    #[test]
+    fn unknown_policy_is_an_error_not_a_panic() {
+        let mut s = golden();
+        s.policy = "zergling".into();
+        let err = s.run().unwrap_err();
+        assert!(err.contains("zergling"));
+    }
+
+    #[test]
+    fn metrics_json_is_deterministic_and_flat() {
+        let s = golden();
+        let report = s.run().unwrap();
+        let a = metrics_json(&s.config_canonical(), &report.metrics);
+        let b = metrics_json(&s.config_canonical(), &report.metrics);
+        assert_eq!(a, b);
+        let fields = parse_flat_object(&a).unwrap();
+        assert_eq!(fields[0].0, "config_hash");
+        assert!(fields.iter().any(|(k, _)| k == "attack_slots"));
+    }
+}

@@ -4,12 +4,21 @@
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use hbm_core::{
-    AttackPolicy, ColoConfig, ForesightedPolicy, Metrics, MyopicPolicy, RandomPolicy, SimReport,
-    Simulation,
-};
-use hbm_units::Power;
+use hbm_core::{scenario, AttackPolicy, ColoConfig, Metrics, SimReport};
+
+/// Count of I/O failures (CSV, manifest, timings JSON) across the whole
+/// run; the driver exits nonzero when any write failed, so automation
+/// never mistakes a partially written results directory for a clean run.
+pub static IO_ERRORS: AtomicUsize = AtomicUsize::new(0);
+
+/// Records one I/O failure: counted for the exit code and echoed through
+/// the sink so the message lands next to the experiment that hit it.
+pub fn io_error(out: &mut Sink, message: String) {
+    IO_ERRORS.fetch_add(1, Ordering::Relaxed);
+    out.line(format!("error: {message}"));
+}
 
 /// Global experiment options parsed from the command line.
 #[derive(Debug, Clone)]
@@ -115,15 +124,10 @@ impl Options {
     }
 
     /// Canonical one-line description of the run configuration, hashed into
-    /// the manifest's `config_hash`.
+    /// the manifest's `config_hash`. Delegates to the shared
+    /// [`hbm_core::scenario`] form so CLI and `hbm-serve` keys never drift.
     pub fn config_canonical(&self, ids: &[String]) -> String {
-        format!(
-            "ids={};days={};warmup_days={};seed={}",
-            ids.join("+"),
-            self.days,
-            self.warmup_days,
-            self.seed
-        )
+        scenario::config_canonical_base(&ids.join("+"), self.days, self.warmup_days, self.seed)
     }
 }
 
@@ -185,25 +189,30 @@ macro_rules! outln {
 }
 
 /// Writes rows as CSV into `<out>/<name>.csv` and echoes where it went.
+/// A failed write is reported through [`io_error`], so the run still
+/// completes its remaining experiments but exits nonzero.
 pub fn write_csv(opts: &Options, out: &mut Sink, name: &str, header: &str, rows: &[String]) {
     if let Err(e) = fs::create_dir_all(&opts.out_dir) {
-        out.line(format!(
-            "warning: cannot create {}: {e}",
-            opts.out_dir.display()
-        ));
+        io_error(
+            out,
+            format!("cannot create {}: {e}", opts.out_dir.display()),
+        );
         return;
     }
     let path = opts.out_dir.join(format!("{name}.csv"));
-    match fs::File::create(&path) {
-        Ok(mut f) => {
-            let _ = writeln!(f, "{header}");
-            for r in rows {
-                let _ = writeln!(f, "{r}");
-            }
-            out.line(format!("  [csv] {}", path.display()));
-        }
-        Err(e) => out.line(format!("warning: cannot write {}: {e}", path.display())),
+    match write_rows(&path, header, rows) {
+        Ok(()) => out.line(format!("  [csv] {}", path.display())),
+        Err(e) => io_error(out, format!("cannot write {}: {e}", path.display())),
     }
+}
+
+fn write_rows(path: &std::path::Path, header: &str, rows: &[String]) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(fs::File::create(path)?);
+    writeln!(f, "{header}")?;
+    for r in rows {
+        writeln!(f, "{r}")?;
+    }
+    f.flush()
 }
 
 /// Prints a section heading.
@@ -213,46 +222,31 @@ pub fn heading(out: &mut Sink, title: &str) {
 }
 
 /// Builds and runs a simulation, warming up learning policies first.
+/// Thin wrapper over [`hbm_core::scenario::run_policy`] — the same code
+/// path `hbm-serve` executes, so served and CLI metrics stay identical.
 pub fn run_policy(
     config: &ColoConfig,
     policy: Box<dyn AttackPolicy>,
     opts: &Options,
     needs_warmup: bool,
 ) -> SimReport {
-    let mut sim = Simulation::new(config.clone(), policy, opts.seed);
-    if needs_warmup {
-        sim.warmup(opts.warmup_slots());
-    }
-    sim.run(opts.slots())
+    scenario::run_policy(
+        config,
+        policy,
+        opts.seed,
+        opts.warmup_slots(),
+        opts.slots(),
+        needs_warmup,
+    )
 }
 
-/// The canonical trio of repeated-attack policies at their default settings.
+/// The canonical trio of repeated-attack policies at their default
+/// settings (shared with `hbm-serve` via [`hbm_core::scenario`]).
 pub fn default_policies(
     config: &ColoConfig,
     opts: &Options,
 ) -> Vec<(String, Box<dyn AttackPolicy>, bool)> {
-    vec![
-        (
-            "random".into(),
-            Box::new(RandomPolicy::new(
-                0.08,
-                config.attack_load,
-                config.slot,
-                opts.seed,
-            )) as Box<dyn AttackPolicy>,
-            false,
-        ),
-        (
-            "myopic".into(),
-            Box::new(MyopicPolicy::new(Power::from_kilowatts(7.4))),
-            false,
-        ),
-        (
-            "foresighted".into(),
-            Box::new(ForesightedPolicy::paper_default(14.0, opts.seed)),
-            true,
-        ),
-    ]
+    scenario::default_policies(config, opts.seed)
 }
 
 /// One-line metrics summary.

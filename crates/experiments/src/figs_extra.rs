@@ -88,8 +88,13 @@ pub fn defense_roc(opts: &Options, out: &mut Sink) {
         );
         sim.run_recorded(horizon).1
     });
-    let clean_records = recorded.pop().expect("clean records");
-    let attack_records = recorded.pop().expect("attack records");
+    let (clean_records, attack_records) = match (recorded.pop(), recorded.pop()) {
+        (Some(clean), Some(attack)) => (clean, attack),
+        _ => {
+            out.line("error: defense_roc: recorded simulations went missing");
+            return;
+        }
+    };
 
     outln!(
         out,

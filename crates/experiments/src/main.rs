@@ -5,11 +5,19 @@
 //! experiments <id>... [--days N] [--warmup-days N] [--seed N] [--out DIR] [--jobs N]
 //!                     [--trace DIR] [--timings] [--timings-json FILE]
 //! experiments all [--days N] ...
+//! experiments simulate --policy NAME [--days N] [--warmup-days N] [--seed N]
+//!                      [--util F] [--attack-load-kw F] [--battery-kwh F]
+//!                      [--threshold-c F] [--cap-w F]
 //! ```
 //!
 //! Each experiment prints a summary table and writes the full data series
 //! to `<out>/<id>.csv`. `--days` shortens the measured horizon (the paper
 //! uses a year; smoke runs are fine with 30–60 days).
+//!
+//! `simulate` runs a single declarative scenario through the shared
+//! [`hbm_core::scenario`] code path and prints one flat-JSON metrics line —
+//! byte-identical to the body `hbm-serve` returns for the same
+//! configuration (see `docs/SERVICE.md`).
 //!
 //! `--jobs N` runs independent experiments on up to `N` threads (0 = one
 //! per core); sweeps inside an experiment parallelize too, all drawing
@@ -68,22 +76,77 @@ const EXPERIMENTS: &[(&str, Runner)] = &[
     ("setpoint", figs_extra::setpoint),
 ];
 
+fn usage() {
+    eprintln!("usage: experiments <id>... | all   [--days N] [--warmup-days N] [--seed N] [--out DIR] [--jobs N] [--trace DIR] [--timings] [--timings-json FILE]");
+    eprintln!("       experiments simulate --policy NAME [--days N] [--warmup-days N] [--seed N] [--util F] [--attack-load-kw F] [--battery-kwh F] [--threshold-c F] [--cap-w F]");
+    eprintln!("available experiments:");
+    for (name, _) in EXPERIMENTS {
+        eprintln!("  {name}");
+    }
+}
+
+/// `experiments simulate ...`: one declarative scenario, one flat-JSON
+/// metrics line on stdout. The scenario is built, keyed, run, and
+/// serialized by [`hbm_core::scenario`] — exactly the code path behind
+/// `hbm-serve`'s `POST /v1/simulate`, so the printed line is
+/// byte-identical to the served response body for the same configuration.
+fn run_simulate(opts: &Options, args: &[String]) -> Result<(), String> {
+    let mut scenario = hbm_core::Scenario::new("");
+    scenario.days = opts.days;
+    scenario.warmup_days = opts.warmup_days;
+    scenario.seed = opts.seed;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let mut take_f64 = |name: &str| -> Result<f64, String> {
+            take(name)?.parse().map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--policy" => scenario.policy = take("--policy")?,
+            "--util" => scenario.utilization = Some(take_f64("--util")?),
+            "--attack-load-kw" => scenario.attack_load_kw = Some(take_f64("--attack-load-kw")?),
+            "--battery-kwh" => scenario.battery_kwh = Some(take_f64("--battery-kwh")?),
+            "--threshold-c" => scenario.threshold_c = Some(take_f64("--threshold-c")?),
+            "--cap-w" => scenario.cap_w = Some(take_f64("--cap-w")?),
+            other => return Err(format!("unknown simulate argument {other:?}")),
+        }
+    }
+    if scenario.policy.is_empty() {
+        return Err("simulate requires --policy NAME".into());
+    }
+    let report = scenario.run()?;
+    println!(
+        "{}",
+        hbm_core::scenario::metrics_json(&scenario.config_canonical(), &report.metrics)
+    );
+    Ok(())
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let (opts, ids) = match Options::parse(&raw) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
+            usage();
             std::process::exit(2);
         }
     };
     if ids.is_empty() {
-        eprintln!("usage: experiments <id>... | all   [--days N] [--warmup-days N] [--seed N] [--out DIR] [--jobs N] [--trace DIR] [--timings] [--timings-json FILE]");
-        eprintln!("available experiments:");
-        for (name, _) in EXPERIMENTS {
-            eprintln!("  {name}");
-        }
+        usage();
         std::process::exit(2);
+    }
+    if ids[0] == "simulate" {
+        if let Err(e) = run_simulate(&opts, &ids[1..]) {
+            eprintln!("error: {e}");
+            usage();
+            std::process::exit(2);
+        }
+        return;
     }
 
     // Expand and validate up front so an unknown id fails before any work.
@@ -152,7 +215,10 @@ fn main() {
             }
             match std::fs::write(path, json + "\n") {
                 Ok(()) => println!("  [json] {}", path.display()),
-                Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+                Err(e) => {
+                    common::IO_ERRORS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                }
             }
         }
     }
@@ -162,6 +228,11 @@ fn main() {
         start.elapsed(),
         opts.jobs
     );
+    let io_errors = common::IO_ERRORS.load(std::sync::atomic::Ordering::Relaxed);
+    if io_errors > 0 {
+        eprintln!("error: {io_errors} output file(s) could not be written");
+        std::process::exit(1);
+    }
 }
 
 /// Emits `manifest.json` alongside the CSVs (and into the trace directory,
@@ -186,7 +257,8 @@ fn write_manifest(opts: &Options, ids: &[String], wall_clock_ms: u64) {
     manifest.wall_clock_ms = wall_clock_ms;
     for dir in std::iter::once(&opts.out_dir).chain(opts.trace.as_ref()) {
         if let Err(e) = manifest.write_to_dir(dir) {
-            eprintln!("warning: cannot write manifest to {}: {e}", dir.display());
+            common::IO_ERRORS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            eprintln!("error: cannot write manifest to {}: {e}", dir.display());
         }
     }
 }

@@ -43,14 +43,21 @@ pub fn configured_threads() -> usize {
     CONFIGURED.load(Ordering::SeqCst) as usize + 1
 }
 
-/// Borrows up to `want` extra threads from the global budget, returning
-/// how many were actually granted. Released on drop.
-struct BudgetLease {
+/// A borrow of extra threads from the process-wide budget, returned to
+/// the pool on drop.
+///
+/// [`par_map`] takes short-lived leases per call; long-running consumers
+/// (the `hbm-serve` worker pool) hold one for their whole lifetime via
+/// [`reserve_threads`], so nested `par_map` calls inside their work items
+/// see a correspondingly smaller budget and the process never
+/// oversubscribes.
+#[derive(Debug)]
+pub struct ThreadLease {
     granted: usize,
 }
 
-impl BudgetLease {
-    fn acquire(want: usize) -> BudgetLease {
+impl ThreadLease {
+    fn acquire(want: usize) -> ThreadLease {
         let mut granted = 0;
         while granted < want {
             let cur = EXTRA_THREAD_BUDGET.load(Ordering::SeqCst);
@@ -65,14 +72,28 @@ impl BudgetLease {
                 granted += take as usize;
             }
         }
-        BudgetLease { granted }
+        ThreadLease { granted }
+    }
+
+    /// How many extra threads this lease actually holds (possibly fewer
+    /// than requested, down to zero when the budget was exhausted).
+    pub fn granted(&self) -> usize {
+        self.granted
     }
 }
 
-impl Drop for BudgetLease {
+impl Drop for ThreadLease {
     fn drop(&mut self) {
         EXTRA_THREAD_BUDGET.fetch_add(self.granted as isize, Ordering::SeqCst);
     }
+}
+
+/// Borrows up to `want` extra threads from the global budget for as long
+/// as the returned lease lives. Grants whatever is available right now
+/// (possibly zero) without blocking; the caller's own thread is not
+/// counted and needs no lease.
+pub fn reserve_threads(want: usize) -> ThreadLease {
+    ThreadLease::acquire(want)
 }
 
 /// Applies `f` to every item, in parallel when the thread budget allows,
@@ -94,7 +115,7 @@ where
         return items.into_iter().map(f).collect();
     }
 
-    let lease = BudgetLease::acquire(n - 1);
+    let lease = ThreadLease::acquire(n - 1);
     if lease.granted == 0 {
         return items.into_iter().map(f).collect();
     }
@@ -193,6 +214,20 @@ mod tests {
         });
         assert_eq!(out.len(), 256);
         assert_eq!(out, (0..256).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reserved_threads_come_back_on_drop() {
+        configure_threads(4);
+        // The budget is shared with concurrently running tests, so assert
+        // only lease-local invariants: the grant is bounded by the request
+        // and the counter never goes negative once the lease returns.
+        for _ in 0..20 {
+            let lease = reserve_threads(2);
+            assert!(lease.granted() <= 2);
+            drop(lease);
+            assert!(super::EXTRA_THREAD_BUDGET.load(Ordering::SeqCst) >= 0);
+        }
     }
 
     #[test]

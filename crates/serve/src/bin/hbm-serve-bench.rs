@@ -1,0 +1,355 @@
+//! `hbm-serve-bench` — load generator for the simulation daemon.
+//!
+//! ```text
+//! hbm-serve-bench [--addr HOST:PORT] [--connections N] [--duration-secs S]
+//!                 [--policy NAME] [--days N] [--warmup-days N] [--seed N]
+//!                 [--distinct K] [--workers N] [--queue N] [--json FILE]
+//! ```
+//!
+//! Without `--addr` it boots an in-process server on an ephemeral port
+//! (so `scripts/bench_summary.sh` and CI need no orchestration), warms
+//! the scenario cache, then drives `--connections` concurrent clients in
+//! closed loops for `--duration-secs` and reports throughput and latency
+//! percentiles. `--distinct K` rotates the request seed over K values to
+//! exercise cache misses. `--json FILE` writes the results in the
+//! `BENCH_thermal.json` entry shape (`{name, median_ns, mean_ns, min_ns,
+//! samples}`), which `scripts/bench_summary.sh` folds into the pinned
+//! benchmark file.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hbm_serve::{ServeConfig, Server};
+
+const USAGE: &str = "usage: hbm-serve-bench [--addr HOST:PORT] [--connections N] [--duration-secs S] \
+[--policy NAME] [--days N] [--warmup-days N] [--seed N] [--distinct K] [--workers N] [--queue N] [--json FILE]
+  --addr HOST:PORT   target an already-running server (default: spawn one in-process)
+  --connections N    concurrent closed-loop clients (default 4)
+  --duration-secs S  measured duration after cache warm-up (default 5)
+  --policy NAME      scenario policy (default myopic)
+  --days N           measured horizon in days (default 1)
+  --warmup-days N    learning warm-up days (default 0)
+  --seed N           base seed (default 1)
+  --distinct K       rotate over K distinct seeds (default 1 = fully cache-warm)
+  --workers N        workers for the in-process server (default: cores - 1)
+  --queue N          queue capacity for the in-process server (default 32)
+  --json FILE        write results as BENCH_thermal.json-shaped entries";
+
+struct Args {
+    addr: Option<String>,
+    connections: usize,
+    duration: Duration,
+    policy: String,
+    days: u64,
+    warmup_days: u64,
+    seed: u64,
+    distinct: u64,
+    workers: usize,
+    queue: usize,
+    json: Option<String>,
+}
+
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut args = Args {
+        addr: None,
+        connections: 4,
+        duration: Duration::from_secs(5),
+        policy: "myopic".into(),
+        days: 1,
+        warmup_days: 0,
+        seed: 1,
+        distinct: 1,
+        workers: cores.saturating_sub(1).max(1),
+        queue: 32,
+        json: None,
+    };
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let parse = |name: &str, v: String| -> Result<u64, String> {
+            v.parse().map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = Some(take("--addr")?),
+            "--connections" => {
+                args.connections = parse("--connections", take("--connections")?)? as usize
+            }
+            "--duration-secs" => {
+                args.duration =
+                    Duration::from_secs(parse("--duration-secs", take("--duration-secs")?)?)
+            }
+            "--policy" => args.policy = take("--policy")?,
+            "--days" => args.days = parse("--days", take("--days")?)?,
+            "--warmup-days" => args.warmup_days = parse("--warmup-days", take("--warmup-days")?)?,
+            "--seed" => args.seed = parse("--seed", take("--seed")?)?,
+            "--distinct" => args.distinct = parse("--distinct", take("--distinct")?)?.max(1),
+            "--workers" => args.workers = parse("--workers", take("--workers")?)?.max(1) as usize,
+            "--queue" => args.queue = parse("--queue", take("--queue")?)? as usize,
+            "--json" => args.json = Some(take("--json")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.connections == 0 {
+        return Err("--connections must be at least 1".into());
+    }
+    Ok(args)
+}
+
+/// Sends one request and returns `(status, body)`, reading to EOF (the
+/// server always answers `Connection: close`).
+fn roundtrip(addr: &str, request: &[u8]) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(request)
+        .map_err(|e| format!("send: {e}"))?;
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut response)
+        .map_err(|e| format!("recv: {e}"))?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed response {response:?}"))?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+fn simulate_request(policy: &str, days: u64, warmup_days: u64, seed: u64) -> Vec<u8> {
+    let body = format!(
+        "{{\"policy\":\"{policy}\",\"days\":{days},\"warmup_days\":{warmup_days},\"seed\":{seed}}}"
+    );
+    format!(
+        "POST /v1/simulate HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn get_request(path: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").into_bytes()
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn bench_entry(name: &str, median: u64, mean: u64, min: u64, samples: u64) -> String {
+    let mut o = hbm_telemetry::json::JsonObject::new();
+    o.str("name", name)
+        .u64("median_ns", median)
+        .u64("mean_ns", mean)
+        .u64("min_ns", min)
+        .u64("samples", samples);
+    o.finish()
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    // Spawn an in-process server unless a target was given.
+    let mut spawned = None;
+    let addr = match &args.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            hbm_par::configure_threads(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            );
+            let config = ServeConfig {
+                workers: args.workers,
+                queue_capacity: args.queue,
+                cache_capacity: (args.distinct as usize).max(256),
+                ..ServeConfig::default()
+            };
+            let server = match Server::bind("127.0.0.1:0", config) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("error: cannot bind in-process server: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let addr = server.local_addr().to_string();
+            let handle = server.handle();
+            let thread = std::thread::spawn(move || server.run());
+            spawned = Some((handle, thread));
+            addr
+        }
+    };
+
+    // Warm the cache: one sequential request per distinct scenario, so the
+    // measured window reflects cache-warm serving (use --distinct > the
+    // cache capacity to measure cold-path throughput instead).
+    for k in 0..args.distinct {
+        let request = simulate_request(&args.policy, args.days, args.warmup_days, args.seed + k);
+        match roundtrip(&addr, &request) {
+            Ok((200, _)) => {}
+            Ok((status, body)) => {
+                eprintln!("error: warm-up request got {status}: {}", body.trim());
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: warm-up request failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Closed-loop clients: each thread sends, waits, repeats until the
+    // deadline, recording one latency sample per completed request.
+    let ok = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let deadline = started + args.duration;
+    let latencies: Vec<u64> = {
+        let handles: Vec<_> = (0..args.connections)
+            .map(|c| {
+                let addr = addr.clone();
+                let (ok, shed, errors) = (Arc::clone(&ok), Arc::clone(&shed), Arc::clone(&errors));
+                let (policy, days, warmup_days) =
+                    (args.policy.clone(), args.days, args.warmup_days);
+                let (seed, distinct) = (args.seed, args.distinct);
+                std::thread::spawn(move || {
+                    let mut samples = Vec::new();
+                    let mut i = c as u64;
+                    while Instant::now() < deadline {
+                        let request =
+                            simulate_request(&policy, days, warmup_days, seed + i % distinct);
+                        i += 1;
+                        let sent = Instant::now();
+                        match roundtrip(&addr, &request) {
+                            Ok((200, _)) => {
+                                samples.push(sent.elapsed().as_nanos() as u64);
+                                ok.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok((503, _)) => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                            Ok(_) | Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    samples
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("client thread panicked"));
+        }
+        all
+    };
+    let elapsed = started.elapsed();
+
+    let server_metrics = roundtrip(&addr, &get_request("/v1/metrics"))
+        .map(|(_, body)| body.trim().to_string())
+        .unwrap_or_default();
+    if let Some((handle, thread)) = spawned {
+        handle.stop();
+        let _ = thread.join();
+    }
+
+    let (ok, shed, errors) = (
+        ok.load(Ordering::Relaxed),
+        shed.load(Ordering::Relaxed),
+        errors.load(Ordering::Relaxed),
+    );
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let mean = if sorted.is_empty() {
+        0
+    } else {
+        (sorted.iter().map(|&v| v as u128).sum::<u128>() / sorted.len() as u128) as u64
+    };
+    let (p50, p90, p99) = (
+        percentile(&sorted, 0.50),
+        percentile(&sorted, 0.90),
+        percentile(&sorted, 0.99),
+    );
+    let rps = ok as f64 / elapsed.as_secs_f64();
+
+    println!(
+        "hbm-serve-bench: {} connection(s) for {:.1?} against {addr} \
+         (policy {}, {} day(s), {} distinct scenario(s))",
+        args.connections, elapsed, args.policy, args.days, args.distinct
+    );
+    println!("  requests: {ok} ok, {shed} shed (503), {errors} errors");
+    println!("  throughput: {rps:.1} req/s");
+    println!(
+        "  latency: p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  max {:.3} ms",
+        p50 as f64 / 1e6,
+        p90 as f64 / 1e6,
+        p99 as f64 / 1e6,
+        sorted.last().copied().unwrap_or(0) as f64 / 1e6,
+    );
+    if !server_metrics.is_empty() {
+        println!("  server metrics: {server_metrics}");
+    }
+
+    if let Some(path) = &args.json {
+        // `serve/throughput` encodes mean inter-completion time, so
+        // requests-per-second is 1e9 / median_ns (the shape every other
+        // BENCH_thermal.json entry uses).
+        let throughput_ns = if rps > 0.0 { (1e9 / rps) as u64 } else { 0 };
+        let json = format!(
+            "[{},\n{},\n{}]\n",
+            bench_entry(
+                "serve/simulate_latency",
+                p50,
+                mean,
+                sorted.first().copied().unwrap_or(0),
+                ok
+            ),
+            bench_entry("serve/simulate_latency_p99", p99, mean, p50, ok),
+            bench_entry(
+                "serve/throughput",
+                throughput_ns,
+                throughput_ns,
+                throughput_ns,
+                ok
+            ),
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  [json] {path}");
+    }
+
+    if ok == 0 || errors > 0 {
+        eprintln!("error: load run unhealthy ({ok} ok, {errors} errors)");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,44 @@
+//! Simulation-as-a-service for the *Heat Behind the Meter* workspace.
+//!
+//! The `experiments` CLI regenerates figures one process at a time; this
+//! crate turns the same scenario code path ([`hbm_core::scenario`]) into a
+//! long-running daemon, so dashboards, sweeps, and other consumers can
+//! request attack-scenario evaluations over HTTP without recompiling.
+//! Everything is first-party `std`: a hand-rolled HTTP/1.1 subset
+//! ([`http`]), the workspace's flat-JSON dialect (`hbm-telemetry`), and a
+//! worker pool accounted against `hbm-par`'s process-wide thread budget.
+//!
+//! # Endpoints
+//!
+//! * `POST /v1/simulate` — a flat-JSON [`hbm_core::Scenario`] body;
+//!   responds with the same metrics JSON line the CLI's `simulate`
+//!   subcommand prints (byte-identical for the same canonical config).
+//! * `GET /v1/health` — liveness and the effective pool/queue sizes.
+//! * `GET /v1/metrics` — flat-JSON counters: requests, cache hits/misses,
+//!   queue depth, worker utilization.
+//!
+//! # Backpressure
+//!
+//! Accepted-but-unstarted requests live in a [`queue::BoundedQueue`]; when
+//! it is full the server answers `503` with `Retry-After` immediately
+//! instead of buffering — memory stays bounded no matter the offered load.
+//! Results are memoized in a bounded [`cache::ScenarioCache`] keyed by the
+//! canonical config string, and every computed run can write a
+//! `RunManifest`, so served runs stay as traceable as CLI runs.
+//!
+//! See `docs/SERVICE.md` for the full endpoint reference and
+//! `hbm-serve-bench` for the bundled load generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+mod server;
+
+pub use server::{declare_spans, ServeConfig, Server, ServerHandle};
+
+/// The crate version, for run manifests and `/v1/health`.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,67 @@
+//! Process counters behind `GET /v1/metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic request/response counters, updated with relaxed atomics on
+/// the request path (they are diagnostics, not synchronization).
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests successfully parsed (any endpoint).
+    pub requests_total: AtomicU64,
+    /// `POST /v1/simulate` requests accepted into the queue.
+    pub simulate_accepted: AtomicU64,
+    /// Requests answered `503` because the queue was full.
+    pub shed_total: AtomicU64,
+    /// Requests answered with any 4xx status.
+    pub bad_requests: AtomicU64,
+    /// Simulation responses served with `200` (cache hits and misses).
+    pub simulate_ok: AtomicU64,
+    /// Workers currently running a scenario.
+    pub workers_busy: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Relaxed increment helper.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed read helper.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// Decrements `workers_busy` on drop, so a panicking scenario run cannot
+/// leave the gauge stuck high.
+pub struct BusyGuard<'a>(&'a AtomicU64);
+
+impl<'a> BusyGuard<'a> {
+    /// Marks one worker busy until the guard drops.
+    pub fn new(gauge: &'a AtomicU64) -> Self {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        BusyGuard(gauge)
+    }
+}
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_guard_restores_the_gauge() {
+        let gauge = AtomicU64::new(0);
+        {
+            let _a = BusyGuard::new(&gauge);
+            let _b = BusyGuard::new(&gauge);
+            assert_eq!(gauge.load(Ordering::Relaxed), 2);
+        }
+        assert_eq!(gauge.load(Ordering::Relaxed), 0);
+    }
+}

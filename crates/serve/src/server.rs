@@ -1,0 +1,403 @@
+//! The daemon: accept loop, routing, worker pool, and shutdown.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hbm_core::scenario::metrics_json;
+use hbm_core::Scenario;
+use hbm_telemetry::json::JsonObject;
+use hbm_telemetry::{timing, RunManifest};
+
+use crate::cache::ScenarioCache;
+use crate::http::{self, HttpError, Request};
+use crate::metrics::{BusyGuard, ServeMetrics};
+use crate::queue::BoundedQueue;
+
+/// Tuning knobs of one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads running scenarios (≥ 1). The pool reserves this
+    /// many threads from `hbm-par`'s process-wide budget for its whole
+    /// lifetime, so parallel kernels inside scenario runs degrade to
+    /// sequential instead of oversubscribing the machine.
+    pub workers: usize,
+    /// Maximum queued (accepted but not yet running) simulation requests;
+    /// beyond this the server sheds load with `503` + `Retry-After`.
+    pub queue_capacity: usize,
+    /// Maximum distinct scenario results kept in the memoization cache.
+    pub cache_capacity: usize,
+    /// `Retry-After` value advertised on `503` responses, seconds.
+    pub retry_after_secs: u64,
+    /// Per-connection socket read/write timeout, so one stalled client
+    /// cannot pin the accept loop or a worker forever.
+    pub io_timeout: Duration,
+    /// When set, every *computed* (cache-miss) scenario writes a
+    /// `RunManifest` to `<dir>/<config_hash>/manifest.json`, making served
+    /// runs as auditable as CLI runs.
+    pub manifest_dir: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 32,
+            cache_capacity: 256,
+            retry_after_secs: 1,
+            io_timeout: Duration::from_secs(10),
+            manifest_dir: None,
+        }
+    }
+}
+
+/// One accepted simulation request, parked in the queue until a worker
+/// picks it up and writes the response.
+struct Job {
+    scenario: Scenario,
+    canonical: String,
+    stream: TcpStream,
+}
+
+struct Shared {
+    config: ServeConfig,
+    queue: BoundedQueue<Job>,
+    cache: ScenarioCache,
+    metrics: ServeMetrics,
+    stopping: AtomicBool,
+}
+
+/// A bound (but not yet running) simulation server.
+///
+/// # Examples
+///
+/// ```no_run
+/// let server = hbm_serve::Server::bind("127.0.0.1:7070", Default::default()).unwrap();
+/// println!("listening on {}", server.local_addr());
+/// server.run().unwrap();
+/// ```
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// A cloneable handle that can stop a running [`Server`] from another
+/// thread (used by tests and the bundled load generator).
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Asks the server to stop: the accept loop exits, queued requests
+    /// drain, workers join. Idempotent.
+    pub fn stop(&self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Pre-registers the server's timing spans so `--timings` reports name
+/// them even before the first request.
+pub fn declare_spans() {
+    timing::declare_span("serve.request");
+    timing::declare_span("serve.simulate");
+}
+
+impl Server {
+    /// Binds the listener (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying bind error.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            cache: ScenarioCache::new(config.cache_capacity),
+            metrics: ServeMetrics::default(),
+            stopping: AtomicBool::new(false),
+            config,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (the actual port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("listener has an address")
+    }
+
+    /// A handle that can stop this server once it runs.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.local_addr(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the accept loop until [`ServerHandle::stop`] is called,
+    /// spawning the worker pool first and joining it before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns a fatal listener error (per-connection errors are absorbed).
+    pub fn run(self) -> std::io::Result<()> {
+        let workers = self.shared.config.workers.max(1);
+        // Account the pool against the process-wide thread budget for the
+        // server's whole lifetime (see ServeConfig::workers).
+        let _lease = hbm_par::reserve_threads(workers);
+        let pool: Vec<_> = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("hbm-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        for stream in self.listener.incoming() {
+            if self.shared.stopping.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => handle_connection(&self.shared, stream, workers),
+                Err(_) => continue,
+            }
+        }
+        self.shared.queue.close();
+        for worker in pool {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Parses one request off `stream` and routes it. Fast endpoints answer
+/// inline on the accept thread; `/v1/simulate` is validated here and then
+/// queued (or shed) — the worker writes that response.
+fn handle_connection(shared: &Shared, stream: TcpStream, workers: usize) {
+    let span = timing::start();
+    let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+    let mut reader = BufReader::new(stream);
+    let request = match http::read_request(&mut reader) {
+        Ok(Some(request)) => request,
+        // Connection opened and closed without a request (e.g. the
+        // stop() wake-up): nothing to answer.
+        Ok(None) => return,
+        Err(HttpError { status, message }) => {
+            ServeMetrics::bump(&shared.metrics.bad_requests);
+            let mut stream = reader.into_inner();
+            let _ = http::write_response(&mut stream, status, &[], &http::error_body(&message));
+            timing::record_span("serve.request", span);
+            return;
+        }
+    };
+    ServeMetrics::bump(&shared.metrics.requests_total);
+    let mut stream = reader.into_inner();
+
+    let respond = |stream: &mut TcpStream, status: u16, body: &[u8]| {
+        let _ = http::write_response(stream, status, &[], body);
+    };
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/v1/health") => respond(&mut stream, 200, &health_body(shared, workers)),
+        ("GET", "/v1/metrics") => respond(&mut stream, 200, &metrics_body(shared, workers)),
+        ("POST", "/v1/simulate") => {
+            simulate(shared, request, stream);
+        }
+        ("GET" | "POST", "/v1/simulate" | "/v1/health" | "/v1/metrics") => {
+            ServeMetrics::bump(&shared.metrics.bad_requests);
+            respond(&mut stream, 405, &http::error_body("method not allowed"));
+        }
+        (_, target) => {
+            ServeMetrics::bump(&shared.metrics.bad_requests);
+            respond(
+                &mut stream,
+                404,
+                &http::error_body(&format!("no such endpoint {target:?}")),
+            );
+        }
+    }
+    timing::record_span("serve.request", span);
+}
+
+/// Validates a `/v1/simulate` body and enqueues the job, shedding with
+/// `503` when the queue is full.
+fn simulate(shared: &Shared, request: Request, mut stream: TcpStream) {
+    let parsed = std::str::from_utf8(&request.body)
+        .map_err(|_| "body is not valid UTF-8".to_string())
+        .and_then(|body| Scenario::from_flat_json(body.trim()))
+        // Full validation up front: workers should only ever see
+        // runnable scenarios, and bad requests must fail fast.
+        .and_then(|scenario| scenario.build_config().map(|_| scenario))
+        .and_then(|scenario| {
+            if hbm_core::scenario::POLICY_NAMES.contains(&scenario.policy.as_str()) {
+                Ok(scenario)
+            } else {
+                Err(format!(
+                    "unknown policy {:?} (expected one of {})",
+                    scenario.policy,
+                    hbm_core::scenario::POLICY_NAMES.join(", ")
+                ))
+            }
+        });
+    let scenario = match parsed {
+        Ok(scenario) => scenario,
+        Err(message) => {
+            ServeMetrics::bump(&shared.metrics.bad_requests);
+            let _ = http::write_response(&mut stream, 400, &[], &http::error_body(&message));
+            return;
+        }
+    };
+    let job = Job {
+        canonical: scenario.config_canonical(),
+        scenario,
+        stream,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => ServeMetrics::bump(&shared.metrics.simulate_accepted),
+        Err(mut job) => {
+            ServeMetrics::bump(&shared.metrics.shed_total);
+            let _ = http::write_response(
+                &mut job.stream,
+                503,
+                &[("Retry-After", shared.config.retry_after_secs.to_string())],
+                &http::error_body("queue full, retry later"),
+            );
+        }
+    }
+}
+
+/// One worker: pop jobs until the queue closes; serve each from the cache
+/// or by running the scenario.
+fn worker_loop(shared: &Shared) {
+    while let Some(mut job) = shared.queue.pop() {
+        let _busy = BusyGuard::new(&shared.metrics.workers_busy);
+        let (result, hit) = shared.cache.get_or_compute(&job.canonical, || {
+            let span = timing::start();
+            let started = Instant::now();
+            let report = job.scenario.run()?;
+            timing::record_span("serve.simulate", span);
+            if let Some(dir) = &shared.config.manifest_dir {
+                write_job_manifest(
+                    dir,
+                    &job.scenario,
+                    &job.canonical,
+                    shared.config.workers,
+                    started.elapsed().as_millis() as u64,
+                );
+            }
+            Ok(metrics_json(&job.canonical, &report.metrics) + "\n")
+        });
+        match result {
+            Ok(body) => {
+                ServeMetrics::bump(&shared.metrics.simulate_ok);
+                let extra = [
+                    ("X-Cache", if hit { "hit" } else { "miss" }.to_string()),
+                    ("X-Config-Hash", job.scenario.config_hash()),
+                ];
+                let _ = http::write_response(&mut job.stream, 200, &extra, body.as_bytes());
+            }
+            Err(message) => {
+                let _ =
+                    http::write_response(&mut job.stream, 500, &[], &http::error_body(&message));
+            }
+        }
+    }
+}
+
+/// Writes the per-run manifest for a freshly computed scenario; failures
+/// are reported on stderr but never fail the request.
+fn write_job_manifest(
+    dir: &std::path::Path,
+    scenario: &Scenario,
+    canonical: &str,
+    workers: usize,
+    wall_clock_ms: u64,
+) {
+    let mut manifest = RunManifest::new("hbm-serve", scenario.seed);
+    manifest.hash_config(canonical);
+    manifest
+        .param("policy", &scenario.policy)
+        .param("days", scenario.days.to_string())
+        .param("warmup_days", scenario.warmup_days.to_string());
+    for (key, value) in [
+        ("utilization", scenario.utilization),
+        ("attack_load_kw", scenario.attack_load_kw),
+        ("battery_kwh", scenario.battery_kwh),
+        ("threshold_c", scenario.threshold_c),
+        ("cap_w", scenario.cap_w),
+    ] {
+        if let Some(v) = value {
+            manifest.param(key, v.to_string());
+        }
+    }
+    for (name, version) in [
+        ("hbm-serve", crate::VERSION),
+        ("hbm-core", hbm_core::VERSION),
+        ("hbm-telemetry", hbm_telemetry::VERSION),
+    ] {
+        manifest.crate_version(name, version);
+    }
+    manifest.jobs = workers as u64;
+    manifest.wall_clock_ms = wall_clock_ms;
+    let run_dir = dir.join(scenario.config_hash());
+    if let Err(e) = manifest.write_to_dir(&run_dir) {
+        eprintln!(
+            "warning: cannot write manifest to {}: {e}",
+            run_dir.display()
+        );
+    }
+}
+
+fn health_body(shared: &Shared, workers: usize) -> Vec<u8> {
+    let mut o = JsonObject::new();
+    o.str("status", "ok")
+        .str("version", crate::VERSION)
+        .u64("workers", workers as u64)
+        .u64("queue_capacity", shared.queue.capacity() as u64)
+        .u64("cache_capacity", shared.config.cache_capacity as u64);
+    let mut body = o.finish().into_bytes();
+    body.push(b'\n');
+    body
+}
+
+fn metrics_body(shared: &Shared, workers: usize) -> Vec<u8> {
+    let cache = shared.cache.stats();
+    let busy = ServeMetrics::get(&shared.metrics.workers_busy);
+    let mut o = JsonObject::new();
+    o.u64(
+        "requests_total",
+        ServeMetrics::get(&shared.metrics.requests_total),
+    )
+    .u64(
+        "simulate_accepted",
+        ServeMetrics::get(&shared.metrics.simulate_accepted),
+    )
+    .u64(
+        "simulate_ok",
+        ServeMetrics::get(&shared.metrics.simulate_ok),
+    )
+    .u64("shed_total", ServeMetrics::get(&shared.metrics.shed_total))
+    .u64(
+        "bad_requests",
+        ServeMetrics::get(&shared.metrics.bad_requests),
+    )
+    .u64("cache_hits", cache.hits)
+    .u64("cache_misses", cache.misses)
+    .u64("cache_len", cache.len)
+    .u64("queue_depth", shared.queue.depth() as u64)
+    .u64("queue_capacity", shared.queue.capacity() as u64)
+    .u64("workers", workers as u64)
+    .u64("workers_busy", busy)
+    .f64("worker_utilization", busy as f64 / workers.max(1) as f64);
+    let mut body = o.finish().into_bytes();
+    body.push(b'\n');
+    body
+}

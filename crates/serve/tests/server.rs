@@ -1,0 +1,256 @@
+//! End-to-end tests: boot the daemon on an ephemeral port and drive it
+//! over real sockets — golden-scenario parity with the shared scenario
+//! code path, cache behavior, input validation, and load shedding.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use hbm_serve::{ServeConfig, Server, ServerHandle};
+
+/// Boots a server with `config` and returns its address, stop handle, and
+/// run-thread join handle.
+fn boot(config: ServeConfig) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run().expect("server runs"));
+    (addr, handle, thread)
+}
+
+/// One raw HTTP exchange; returns `(status, headers, body)`.
+fn exchange(addr: SocketAddr, raw: &str) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut response)
+        .expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("complete response");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .expect("status line")
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_string(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, v)| v.as_str())
+}
+
+fn post_simulate(addr: SocketAddr, body: &str) -> (u16, Vec<(String, String)>, String) {
+    exchange(
+        addr,
+        &format!(
+            "POST /v1/simulate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, Vec<(String, String)>, String) {
+    exchange(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn json_u64(body: &str, key: &str) -> u64 {
+    let fields = hbm_telemetry::json::parse_flat_object(body.trim()).expect("flat json");
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("missing {key} in {body}"))
+        .1
+        .as_f64()
+        .expect("numeric") as u64
+}
+
+#[test]
+fn golden_scenario_parity_cache_and_metrics() {
+    let (addr, handle, thread) = boot(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+
+    // Health first.
+    let (status, _, body) = get(addr, "/v1/health");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "health said {body}");
+
+    // The served response must be byte-identical to the shared scenario
+    // code path (which `experiments simulate` prints verbatim).
+    let mut scenario = hbm_core::Scenario::new("myopic");
+    scenario.days = 1;
+    scenario.warmup_days = 0;
+    scenario.seed = 7;
+    let expected = hbm_core::scenario::metrics_json(
+        &scenario.config_canonical(),
+        &scenario.run().expect("golden scenario runs").metrics,
+    ) + "\n";
+
+    let request = "{\"policy\":\"myopic\",\"days\":1,\"warmup_days\":0,\"seed\":7}";
+    let (status, headers, body) = post_simulate(addr, request);
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(header(&headers, "x-cache"), Some("miss"));
+    assert_eq!(
+        header(&headers, "x-config-hash"),
+        Some(scenario.config_hash().as_str())
+    );
+    assert_eq!(body, expected);
+
+    // Same canonical config again: cache hit, identical bytes.
+    let (status, headers, cached) = post_simulate(addr, request);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-cache"), Some("hit"));
+    assert_eq!(cached, body);
+
+    // Counters saw all of it.
+    let (status, _, metrics) = get(addr, "/v1/metrics");
+    assert_eq!(status, 200);
+    assert!(json_u64(&metrics, "cache_hits") >= 1, "metrics: {metrics}");
+    assert_eq!(json_u64(&metrics, "cache_misses"), 1);
+    assert!(json_u64(&metrics, "simulate_ok") >= 2);
+    assert!(json_u64(&metrics, "requests_total") >= 3);
+
+    handle.stop();
+    thread.join().unwrap();
+}
+
+#[test]
+fn bad_requests_get_4xx_not_a_hang() {
+    let (addr, handle, thread) = boot(ServeConfig::default());
+
+    let (status, _, body) = post_simulate(addr, "not json at all");
+    assert_eq!(status, 400, "body: {body}");
+    let (status, _, _) = post_simulate(addr, "{\"policy\":\"zergling\",\"days\":1}");
+    assert_eq!(status, 400);
+    let (status, _, _) = post_simulate(addr, "{\"policy\":\"myopic\",\"bogus\":1}");
+    assert_eq!(status, 400);
+    let (status, _, _) = post_simulate(
+        addr,
+        "{\"policy\":\"myopic\",\"days\":1,\"utilization\":2.5}",
+    );
+    assert_eq!(status, 400);
+
+    // Routing errors.
+    let (status, _, _) = get(addr, "/v1/simulate");
+    assert_eq!(status, 405);
+    let (status, _, _) = get(addr, "/nope");
+    assert_eq!(status, 404);
+
+    // Malformed HTTP straight off the socket.
+    let (status, _, _) = exchange(addr, "GARBAGE\r\n\r\n");
+    assert_eq!(status, 400);
+
+    let (_, _, metrics) = get(addr, "/v1/metrics");
+    assert!(
+        json_u64(&metrics, "bad_requests") >= 7,
+        "metrics: {metrics}"
+    );
+
+    handle.stop();
+    thread.join().unwrap();
+}
+
+#[test]
+fn full_queue_sheds_with_503_and_retry_after() {
+    // One worker, one queue slot: a burst of distinct scenarios must shed
+    // rather than buffer. Each scenario is heavy enough (120 simulated
+    // days) that the worker cannot drain the burst as fast as it arrives.
+    let (addr, handle, thread) = boot(ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    });
+
+    let clients: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let body = format!(
+                    "{{\"policy\":\"myopic\",\"days\":120,\"warmup_days\":0,\"seed\":{}}}",
+                    100 + i
+                );
+                post_simulate(addr, &body)
+            })
+        })
+        .collect();
+    let results: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+    let ok = results.iter().filter(|(s, _, _)| *s == 200).count();
+    let shed: Vec<_> = results.iter().filter(|(s, _, _)| *s == 503).collect();
+    assert!(ok >= 1, "at least the first request must be served");
+    assert!(
+        !shed.is_empty(),
+        "an 8-request burst against workers=1/queue=1 must shed; statuses: {:?}",
+        results.iter().map(|(s, _, _)| *s).collect::<Vec<_>>()
+    );
+    assert_eq!(ok + shed.len(), results.len(), "nothing may hang or error");
+    for (_, headers, _) in &shed {
+        assert_eq!(header(headers, "retry-after"), Some("1"));
+    }
+
+    let (_, _, metrics) = get(addr, "/v1/metrics");
+    assert_eq!(json_u64(&metrics, "shed_total") as usize, shed.len());
+
+    handle.stop();
+    thread.join().unwrap();
+}
+
+#[test]
+fn manifest_written_per_computed_scenario() {
+    let dir = std::env::temp_dir().join(format!("hbm_serve_manifest_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (addr, handle, thread) = boot(ServeConfig {
+        manifest_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+
+    let request = "{\"policy\":\"random\",\"days\":1,\"warmup_days\":0,\"seed\":3}";
+    let (status, headers, _) = post_simulate(addr, request);
+    assert_eq!(status, 200);
+    let hash = header(&headers, "x-config-hash")
+        .expect("config hash")
+        .to_string();
+
+    let manifest_path = dir.join(&hash).join("manifest.json");
+    let text = std::fs::read_to_string(&manifest_path).expect("manifest written");
+    let fields = hbm_telemetry::deterministic_manifest_fields(&text).expect("parseable");
+    assert!(fields
+        .iter()
+        .any(|(k, v)| k == "tool" && v.as_str() == Some("hbm-serve")));
+    assert!(fields
+        .iter()
+        .any(|(k, v)| k == "config_hash" && v.as_str() == Some(hash.as_str())));
+
+    // A cache hit must not rewrite the manifest.
+    let modified = std::fs::metadata(&manifest_path)
+        .unwrap()
+        .modified()
+        .unwrap();
+    let (_, headers, _) = post_simulate(addr, request);
+    assert_eq!(header(&headers, "x-cache"), Some("hit"));
+    assert_eq!(
+        std::fs::metadata(&manifest_path)
+            .unwrap()
+            .modified()
+            .unwrap(),
+        modified
+    );
+
+    handle.stop();
+    thread.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

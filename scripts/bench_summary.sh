@@ -8,8 +8,10 @@
 #   * heat-matrix extraction: cold vs memoized (cached)
 #
 # A short traced fig9 run then contributes its kernel timing spans
-# (entries named span/<name>, same shape) to the same JSON, so one file
-# carries both microbenchmarks and in-situ span timings.
+# (entries named span/<name>, same shape), and a short hbm-serve-bench
+# load run contributes its serving throughput/latency (entries named
+# serve/<name>), so one file carries microbenchmarks, in-situ span
+# timings, and end-to-end service numbers.
 #
 # Usage: scripts/bench_summary.sh [output.json]
 set -eu
@@ -20,19 +22,14 @@ out=${1:-"$repo_root/BENCH_thermal.json"}
 cd "$repo_root"
 BENCH_JSON="$out" cargo bench -p hbm-bench --bench bench_thermal
 
-# Fold in the kernel spans from a 1-day fig9 run (--timings-json emits the
-# same {name, median_ns, ...} objects, prefixed span/).
-spans_json="$repo_root/target/spans_fig9.json"
-cargo build --release -q -p hbm-experiments
-"$repo_root/target/release/experiments" fig9 --days 1 --warmup-days 0 --seed 1 \
-    --out "$repo_root/target/bench_fig9_out" \
-    --timings --timings-json "$spans_json" >/dev/null
-span_body=$(tr -d '\n' <"$spans_json" | sed -e 's/^\[//' -e 's/\]$//')
-if [ -n "$span_body" ]; then
+# Appends the objects of the JSON array in $1 to the array in $out.
+fold_json() {
+    body=$(tr -d '\n' <"$1" | sed -e 's/^\[//' -e 's/\]$//')
+    [ -n "$body" ] || return 0
     tmp="$out.tmp"
-    awk -v spans="$span_body" '
+    awk -v extra="$body" '
         /^\]$/ {
-            n = split(spans, objs, /\},\{/)
+            n = split(extra, objs, /\},\{/)
             for (i = 1; i <= n; i++) {
                 o = objs[i]
                 if (i > 1) o = "{" o
@@ -44,7 +41,25 @@ if [ -n "$span_body" ]; then
         }
         { print }
     ' "$out" >"$tmp" && mv "$tmp" "$out"
-fi
+}
+
+# Fold in the kernel spans from a 1-day fig9 run (--timings-json emits the
+# same {name, median_ns, ...} objects, prefixed span/).
+spans_json="$repo_root/target/spans_fig9.json"
+cargo build --release -q -p hbm-experiments
+"$repo_root/target/release/experiments" fig9 --days 1 --warmup-days 0 --seed 1 \
+    --out "$repo_root/target/bench_fig9_out" \
+    --timings --timings-json "$spans_json" >/dev/null
+fold_json "$spans_json"
+
+# Fold in a short cache-warm load run against the in-process daemon
+# (entries prefixed serve/; see crates/serve/src/bin/hbm-serve-bench.rs).
+serve_json="$repo_root/target/serve_bench.json"
+cargo build --release -q -p hbm-serve
+"$repo_root/target/release/hbm-serve-bench" \
+    --connections 4 --duration-secs 2 --days 1 --warmup-days 0 \
+    --json "$serve_json" >/dev/null
+fold_json "$serve_json"
 
 echo ""
 echo "wrote $out"
@@ -94,5 +109,13 @@ awk -F'"' '
         zone = median["span/zone.step"]
         if (zone > 0)
             printf "in-situ zone.step span (fig9 run): %.2f us/call\n", zone / 1000
+        tput = median["serve/throughput"]
+        if (tput > 0)
+            printf "hbm-serve cache-warm throughput: %.0f req/s\n", 1e9 / tput
+        lat = median["serve/simulate_latency"]
+        p99 = median["serve/simulate_latency_p99"]
+        if (lat > 0 && p99 > 0)
+            printf "hbm-serve request latency: p50 %.3f ms, p99 %.3f ms\n",
+                lat / 1e6, p99 / 1e6
     }
 ' "$out"
