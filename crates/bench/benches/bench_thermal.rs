@@ -7,7 +7,7 @@ use std::hint::black_box;
 
 use hbm_bench::gather::GatherHeatMatrixModel;
 use hbm_bench::nested::NestedCfdModel;
-use hbm_core::{ColoConfig, ForesightedPolicy, Simulation};
+use hbm_core::{BatchSim, ColoConfig, ForesightedPolicy, MyopicPolicy, Simulation};
 use hbm_telemetry::MemoryRecorder;
 use hbm_thermal::{
     clear_heat_matrix_cache, extract_heat_matrix, CfdConfig, CfdModel, HeatMatrixModel, ZoneModel,
@@ -212,5 +212,54 @@ fn sim_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, zone_model, cfd_model, sim_throughput);
+/// Fleet-scale aggregate throughput: one iteration advances all 1000 sites
+/// by one slot, so aggregate slots/sec = 1000 × 1e9 / median_ns (the
+/// headline `scripts/bench_summary.sh` prints). The batched engine and the
+/// independent baseline step identical fleets — Fleet's seed schedule, the
+/// myopic always-on attacker — so the ratio is pure engine speedup.
+fn fleet_throughput(c: &mut Criterion) {
+    const SITES: usize = 1000;
+    let fleet = || -> Vec<Simulation> {
+        let config = ColoConfig::paper_default().with_trace_len(2 * 1440);
+        (0..SITES)
+            .map(|i| {
+                let seed = 1u64.wrapping_add(1 + i as u64 * 1299721);
+                Simulation::new(
+                    config.clone(),
+                    Box::new(MyopicPolicy::new(Power::from_kilowatts(7.4))),
+                    seed,
+                )
+            })
+            .collect()
+    };
+
+    let mut group = c.benchmark_group("fleet_slots_per_sec");
+    group.sample_size(10);
+
+    group.bench_function("batched", |b| {
+        let mut batch = BatchSim::new(fleet());
+        b.iter(|| black_box(batch.step_all()));
+    });
+
+    group.bench_function("independent_baseline", |b| {
+        let mut sims = fleet();
+        b.iter(|| {
+            let mut down = 0u32;
+            for sim in &mut sims {
+                down += u32::from(sim.step().outage);
+            }
+            black_box(down)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    zone_model,
+    cfd_model,
+    sim_throughput,
+    fleet_throughput
+);
 criterion_main!(benches);

@@ -113,6 +113,13 @@ pub trait AttackPolicy: std::any::Any + Send {
         let _ = transition;
     }
 
+    /// Whether [`AttackPolicy::learn`] does anything. The batch engine skips
+    /// building [`Transition`]s for policies that return `false`; the default
+    /// is conservatively `true` so custom learning policies keep working.
+    fn wants_learn(&self) -> bool {
+        true
+    }
+
     /// Upcast for inspecting a concrete policy after a run (e.g. reading
     /// the learnt [`ForesightedPolicy::policy_matrix`] for Fig. 10).
     fn as_any(&self) -> &dyn std::any::Any;
@@ -160,6 +167,10 @@ impl RandomPolicy {
 impl AttackPolicy for RandomPolicy {
     fn name(&self) -> &str {
         "random"
+    }
+
+    fn wants_learn(&self) -> bool {
+        false
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -220,11 +231,23 @@ impl MyopicPolicy {
     pub fn threshold(&self) -> Power {
         self.threshold
     }
+
+    /// The minimum stored energy at which the attack arms, computed with
+    /// the exact arithmetic [`decide`](AttackPolicy::decide) uses. Batch
+    /// engines precompute this per lane so a fleet of myopic attackers can
+    /// be decided without going through the trait object.
+    pub fn arm_energy(&self) -> Energy {
+        self.attack_load * self.slot * 0.999
+    }
 }
 
 impl AttackPolicy for MyopicPolicy {
     fn name(&self) -> &str {
         "myopic"
+    }
+
+    fn wants_learn(&self) -> bool {
+        false
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -282,6 +305,10 @@ impl OneShotPolicy {
 impl AttackPolicy for OneShotPolicy {
     fn name(&self) -> &str {
         "one-shot"
+    }
+
+    fn wants_learn(&self) -> bool {
+        false
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

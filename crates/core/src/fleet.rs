@@ -107,6 +107,14 @@ impl Fleet {
     /// availability. A slot counts as a *wide-area interruption* when the
     /// fraction of sites up drops below `required_up_fraction`.
     ///
+    /// The sites advance through the batch engine ([`crate::run_sharded`]):
+    /// structure-of-arrays lockstep stepping, sharded across the `hbm_par`
+    /// thread budget, with trajectories bit-identical to stepping each site
+    /// alone at any thread count. Each site's accumulated metrics are moved
+    /// into the report (no per-site clone); the sites themselves keep their
+    /// stepping state and continue with fresh metrics, as after
+    /// [`Simulation::warmup`].
+    ///
     /// # Panics
     ///
     /// Panics if `required_up_fraction` is outside `(0, 1]`.
@@ -117,22 +125,17 @@ impl Fleet {
         );
         let n = self.sites.len();
         let slot_len = self.sites[0].config().slot;
+        let run = crate::run_sharded(std::mem::take(&mut self.sites), slots);
+        self.sites = run.sims;
         let mut any_down_slots = 0u64;
         let mut interruption_slots = 0u64;
         let mut longest = 0u64;
         let mut current = 0u64;
-        for _ in 0..slots {
-            let mut down = 0usize;
-            for site in &mut self.sites {
-                let record = site.step();
-                if record.outage {
-                    down += 1;
-                }
-            }
+        for &down in &run.down_per_slot {
             if down > 0 {
                 any_down_slots += 1;
             }
-            let up_fraction = (n - down) as f64 / n as f64;
+            let up_fraction = (n - down as usize) as f64 / n as f64;
             if up_fraction < required_up_fraction {
                 interruption_slots += 1;
                 current += 1;
@@ -141,16 +144,17 @@ impl Fleet {
                 current = 0;
             }
         }
+        let sites_hit = run
+            .reports
+            .iter()
+            .filter(|r| r.metrics.outage_events > 0)
+            .count();
         FleetReport {
-            sites: self.sites.iter().map(Simulation::report).collect(),
+            sites: run.reports,
             any_down_slots,
             interruption_slots,
             longest_interruption: slot_len * longest as f64,
-            sites_hit: self
-                .sites
-                .iter()
-                .filter(|s| s.metrics().outage_events > 0)
-                .count(),
+            sites_hit,
         }
     }
 }

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod attacker;
+mod batch;
 mod config;
 mod cost;
 mod fleet;
@@ -51,6 +52,7 @@ pub use attacker::{
     AttackAction, AttackPolicy, ForesightedPolicy, Learner, MyopicPolicy, Observation,
     OneShotPolicy, RandomPolicy, Transition,
 };
+pub use batch::{run_sharded, BatchRun, BatchSim};
 pub use config::ColoConfig;
 pub use cost::{CostModel, CostReport};
 pub use fleet::{coordinated_one_shot, Fleet, FleetReport};

@@ -154,6 +154,17 @@ impl Scenario {
         self.warmup_days * 24 * 60
     }
 
+    /// The scenario for site `i` of a batch: identical overrides and
+    /// horizon, seed staggered by `i` — so site `i` of a batch request is
+    /// *the same scenario* as a single request at `seed + i`, and the two
+    /// share cache entries and manifests.
+    pub fn site(&self, i: u64) -> Scenario {
+        Scenario {
+            seed: self.seed.wrapping_add(i),
+            ..self.clone()
+        }
+    }
+
     /// The canonical one-line configuration string: the CLI's base form,
     /// with one `;key=value` suffix per override actually set (in the
     /// fixed order `util`, `attack_load_kw`, `battery_kwh`, `threshold_c`,
@@ -254,7 +265,12 @@ impl Scenario {
     ///
     /// Returns a message describing the first malformed field.
     pub fn from_flat_json(body: &str) -> Result<Scenario, String> {
-        let fields = parse_flat_object(body)?;
+        Scenario::from_fields(parse_flat_object(body)?)
+    }
+
+    /// Builds a scenario from already-parsed flat-JSON fields (shared with
+    /// [`BatchScenario::from_flat_json`], which strips its own keys first).
+    fn from_fields(fields: Vec<(String, JsonValue)>) -> Result<Scenario, String> {
         let mut scenario = Scenario::new("");
         for (key, value) in fields {
             match key.as_str() {
@@ -277,6 +293,104 @@ impl Scenario {
         }
         Ok(scenario)
     }
+}
+
+/// A batched simulation request: `count` seed-staggered replicas of one
+/// [`Scenario`] template, advanced in lockstep by the batch engine
+/// ([`crate::BatchSim`]) and sharded across the `hbm_par` thread budget.
+///
+/// Site `i` is exactly [`Scenario::site`]`(i)` — the same scenario a single
+/// request at `seed + i` would run — and by the batch engine's determinism
+/// contract its report is byte-identical to running that scenario alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchScenario {
+    /// The per-site scenario template (its `seed` is the base seed).
+    pub scenario: Scenario,
+    /// Number of sites (≥ 1).
+    pub count: u64,
+}
+
+impl BatchScenario {
+    /// Parses a batch request from one flat JSON object: the [`Scenario`]
+    /// fields plus `count`. `count` defaults to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed field.
+    pub fn from_flat_json(body: &str) -> Result<BatchScenario, String> {
+        let mut fields = parse_flat_object(body)?;
+        let mut count = 1u64;
+        if let Some(pos) = fields.iter().position(|(key, _)| key == "count") {
+            let (key, value) = fields.remove(pos);
+            count = json_u64(&key, &value)?;
+        }
+        if count == 0 {
+            return Err("count must be at least 1".into());
+        }
+        Ok(BatchScenario {
+            scenario: Scenario::from_fields(fields)?,
+            count,
+        })
+    }
+
+    /// The per-site scenarios, in site order.
+    pub fn sites(&self) -> Vec<Scenario> {
+        (0..self.count).map(|i| self.scenario.site(i)).collect()
+    }
+
+    /// Runs the whole batch and returns per-site reports in site order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown policy or invalid configuration.
+    pub fn run(&self) -> Result<Vec<crate::SimReport>, String> {
+        run_scenarios_batch(&self.sites())
+    }
+}
+
+/// Runs a set of scenarios through the batch engine and returns their
+/// reports in input order, byte-identical to [`Scenario::run`] on each.
+///
+/// The scenarios may differ in seed and overrides but must agree on the
+/// horizon and on whether their policy learns, because the batch advances
+/// all lanes in lockstep (warm-up included).
+///
+/// # Errors
+///
+/// Returns a message for an empty batch, mismatched horizons, an unknown
+/// policy, or an invalid configuration.
+pub fn run_scenarios_batch(sites: &[Scenario]) -> Result<Vec<crate::SimReport>, String> {
+    let first = sites.first().ok_or("batch needs at least one scenario")?;
+    let mut sims = Vec::with_capacity(sites.len());
+    let mut needs_warmup = false;
+    for (i, site) in sites.iter().enumerate() {
+        if (site.days, site.warmup_days) != (first.days, first.warmup_days) {
+            return Err(format!(
+                "batch scenarios must share the horizon: site {i} has days={}/warmup_days={}, site 0 has days={}/warmup_days={}",
+                site.days, site.warmup_days, first.days, first.warmup_days
+            ));
+        }
+        let config = site.build_config()?;
+        let (policy, warmup) = build_policy(&site.policy, &config, site.seed)?;
+        if i == 0 {
+            needs_warmup = warmup;
+        } else if warmup != needs_warmup {
+            return Err(format!(
+                "batch scenarios must agree on learning warm-up: site {i} ({}) differs from site 0 ({})",
+                site.policy, first.policy
+            ));
+        }
+        sims.push(Simulation::new(config, policy, site.seed));
+    }
+    let sims = if needs_warmup && first.warmup_slots() > 0 {
+        // run_sharded moves the warm-up metrics out with its reports, so
+        // dropping them leaves each lane freshly metered — exactly
+        // `Simulation::warmup` semantics.
+        crate::run_sharded(sims, first.warmup_slots()).sims
+    } else {
+        sims
+    };
+    Ok(crate::run_sharded(sims, first.slots()).reports)
 }
 
 fn json_f64(key: &str, value: &JsonValue) -> Result<f64, String> {

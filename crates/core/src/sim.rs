@@ -54,12 +54,68 @@ pub struct SimReport {
 /// Everything not yet known when the policy acted; completed (and fed to
 /// [`AttackPolicy::learn`]) at the start of the next slot, when the next
 /// side-channel estimate exists.
-struct PendingTransition {
-    observation: Observation,
-    action: AttackAction,
-    inlet: Temperature,
-    next_battery_soc: f64,
-    next_battery_stored: Energy,
+pub(crate) struct PendingTransition {
+    pub(crate) observation: Observation,
+    pub(crate) action: AttackAction,
+    pub(crate) inlet: Temperature,
+    pub(crate) next_battery_soc: f64,
+    pub(crate) next_battery_stored: Energy,
+}
+
+/// A [`Simulation`] decomposed into its owned components, so the batch
+/// engine can host the same state in its structure-of-arrays layout and
+/// hand it back unchanged. Field-for-field mirror of [`Simulation`].
+pub(crate) struct SimParts {
+    pub(crate) config: ColoConfig,
+    pub(crate) trace: PowerTrace,
+    pub(crate) zone: ZoneModel,
+    pub(crate) protocol: EmergencyProtocol,
+    pub(crate) battery: Battery,
+    pub(crate) side_channel: VoltageSideChannel,
+    pub(crate) policy: Box<dyn AttackPolicy>,
+    pub(crate) slot_index: u64,
+    pub(crate) metrics: Metrics,
+    pub(crate) pending: Option<PendingTransition>,
+    pub(crate) outage_remaining: Option<Duration>,
+    pub(crate) prev_capping: bool,
+    pub(crate) estimate_filter: Option<Power>,
+    pub(crate) recorder: Option<Box<dyn Recorder>>,
+}
+
+/// Slots per simulated day at a given slot length (shared by the scalar
+/// and batch engines so both bucket transitions into the same days).
+pub(crate) fn slots_per_day_at(slot: Duration) -> u64 {
+    (Duration::from_days(1.0) / slot).round().max(1.0) as u64
+}
+
+/// Emits one telemetry sample for a finished slot. Channel names mirror
+/// the figure CSV columns (`docs/TELEMETRY.md`). Shared by
+/// [`Simulation::step`] and the batch engine so traced slots look
+/// identical regardless of which engine produced them.
+pub(crate) fn emit_sample(rec: &mut dyn Recorder, r: &SlotRecord, raw_estimate: Power) {
+    let action = match r.action {
+        AttackAction::Attack => "attack",
+        AttackAction::Charge => "charge",
+        AttackAction::Standby => "standby",
+    };
+    let channels: [(&'static str, ChannelValue); 12] = [
+        ("benign_kw", r.benign_demand.as_kilowatts().into()),
+        ("benign_actual_kw", r.benign_actual.as_kilowatts().into()),
+        ("metered_kw", r.metered_total.as_kilowatts().into()),
+        ("actual_kw", r.actual_total.as_kilowatts().into()),
+        ("attack_kw", r.attack_load.as_kilowatts().into()),
+        ("soc", r.battery_soc.into()),
+        ("est_kw", r.estimated_total.as_kilowatts().into()),
+        ("raw_est_kw", raw_estimate.as_kilowatts().into()),
+        ("inlet_c", r.inlet.as_celsius().into()),
+        ("capping", r.capping.into()),
+        ("outage", r.outage.into()),
+        ("action", ChannelValue::Str(action)),
+    ];
+    rec.record(&Sample {
+        step: r.slot,
+        channels: &channels,
+    });
 }
 
 /// The edge-colocation simulator (see the crate docs for the slot
@@ -225,33 +281,10 @@ impl Simulation {
         record
     }
 
-    /// Emits one telemetry sample for a finished slot. Channel names mirror
-    /// the figure CSV columns (`docs/TELEMETRY.md`).
+    /// Emits one telemetry sample for a finished slot (see [`emit_sample`]).
     fn record_slot(&mut self, r: &SlotRecord, raw_estimate: Power) {
-        let action = match r.action {
-            AttackAction::Attack => "attack",
-            AttackAction::Charge => "charge",
-            AttackAction::Standby => "standby",
-        };
-        let channels: [(&'static str, ChannelValue); 12] = [
-            ("benign_kw", r.benign_demand.as_kilowatts().into()),
-            ("benign_actual_kw", r.benign_actual.as_kilowatts().into()),
-            ("metered_kw", r.metered_total.as_kilowatts().into()),
-            ("actual_kw", r.actual_total.as_kilowatts().into()),
-            ("attack_kw", r.attack_load.as_kilowatts().into()),
-            ("soc", r.battery_soc.into()),
-            ("est_kw", r.estimated_total.as_kilowatts().into()),
-            ("raw_est_kw", raw_estimate.as_kilowatts().into()),
-            ("inlet_c", r.inlet.as_celsius().into()),
-            ("capping", r.capping.into()),
-            ("outage", r.outage.into()),
-            ("action", ChannelValue::Str(action)),
-        ];
         if let Some(rec) = self.recorder.as_mut() {
-            rec.record(&Sample {
-                step: r.slot,
-                channels: &channels,
-            });
+            emit_sample(rec.as_mut(), r, raw_estimate);
         }
     }
 
@@ -441,9 +474,60 @@ impl Simulation {
     }
 
     fn slots_per_day(&self) -> u64 {
-        (Duration::from_days(1.0) / self.config.slot)
-            .round()
-            .max(1.0) as u64
+        slots_per_day_at(self.config.slot)
+    }
+
+    /// The report for everything simulated so far, taking the metrics *by
+    /// move*: the simulation's own metrics are reset to empty (as after
+    /// [`Simulation::warmup`]), and the report carries the originals without
+    /// a clone. This is the hot exit path for fleet-scale runs, where
+    /// cloning a [`Metrics`] (histogram included) per site adds up.
+    pub fn take_report(&mut self) -> SimReport {
+        let metrics = std::mem::replace(&mut self.metrics, Metrics::new(self.config.slot));
+        SimReport {
+            policy: self.policy.name().to_string(),
+            metrics,
+        }
+    }
+
+    /// Decomposes the simulation into its components (batch-engine intake).
+    pub(crate) fn into_parts(self) -> SimParts {
+        SimParts {
+            config: self.config,
+            trace: self.trace,
+            zone: self.zone,
+            protocol: self.protocol,
+            battery: self.battery,
+            side_channel: self.side_channel,
+            policy: self.policy,
+            slot_index: self.slot_index,
+            metrics: self.metrics,
+            pending: self.pending,
+            outage_remaining: self.outage_remaining,
+            prev_capping: self.prev_capping,
+            estimate_filter: self.estimate_filter,
+            recorder: self.recorder,
+        }
+    }
+
+    /// Rebuilds a simulation from components (batch-engine hand-back).
+    pub(crate) fn from_parts(parts: SimParts) -> Simulation {
+        Simulation {
+            config: parts.config,
+            trace: parts.trace,
+            zone: parts.zone,
+            protocol: parts.protocol,
+            battery: parts.battery,
+            side_channel: parts.side_channel,
+            policy: parts.policy,
+            slot_index: parts.slot_index,
+            metrics: parts.metrics,
+            pending: parts.pending,
+            outage_remaining: parts.outage_remaining,
+            prev_capping: parts.prev_capping,
+            estimate_filter: parts.estimate_filter,
+            recorder: parts.recorder,
+        }
     }
 }
 

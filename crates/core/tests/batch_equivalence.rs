@@ -1,0 +1,193 @@
+//! The batch engine's determinism contract: every lane of a [`BatchSim`]
+//! produces byte-identical records, metrics, and reports to running the
+//! same [`Simulation`] alone, and the sharded runner is thread-count
+//! invariant.
+
+use hbm_battery::BatterySpec;
+use hbm_core::{
+    run_sharded, BatchSim, ColoConfig, ForesightedPolicy, MyopicPolicy, OneShotPolicy,
+    RandomPolicy, SimReport, Simulation, SlotRecord,
+};
+use hbm_units::Power;
+
+/// A policy/config mix covering every slot-body path: attacking and quiet
+/// myopic, random, the learning foresighted attacker, and a one-shot
+/// scenario that drives its site through outage downtime.
+fn scenarios() -> Vec<Simulation> {
+    let base = ColoConfig::paper_default().with_trace_len(7 * 1440);
+    let mut outage = base.clone();
+    outage.battery = BatterySpec::one_shot();
+    outage.attack_load = Power::from_kilowatts(3.0);
+    vec![
+        Simulation::new(
+            base.clone(),
+            Box::new(MyopicPolicy::new(Power::from_kilowatts(7.4))),
+            1,
+        ),
+        Simulation::new(
+            base.clone(),
+            Box::new(MyopicPolicy::new(Power::from_kilowatts(99.0))),
+            2,
+        ),
+        Simulation::new(
+            base.clone(),
+            Box::new(RandomPolicy::new(0.08, base.attack_load, base.slot, 11)),
+            3,
+        ),
+        Simulation::new(
+            base.clone(),
+            Box::new(ForesightedPolicy::paper_default(14.0, 4)),
+            4,
+        ),
+        Simulation::new(
+            outage,
+            Box::new(OneShotPolicy::new(Power::from_kilowatts(7.6))),
+            1,
+        ),
+    ]
+}
+
+fn sequential_reference(slots: u64) -> Vec<(SimReport, Vec<SlotRecord>)> {
+    scenarios()
+        .into_iter()
+        .map(|mut sim| sim.run_recorded(slots))
+        .collect()
+}
+
+#[test]
+fn batch_matches_sequential_slot_for_slot() {
+    const SLOTS: u64 = 3 * 1440;
+    let reference = sequential_reference(SLOTS);
+    assert!(
+        reference.last().unwrap().0.metrics.outage_slots > 0,
+        "the one-shot lane must exercise the outage path"
+    );
+
+    let mut batch = BatchSim::new(scenarios());
+    for k in 0..SLOTS {
+        batch.step_all();
+        for (i, (_, records)) in reference.iter().enumerate() {
+            let want = records[k as usize];
+            let got = batch.records()[i];
+            assert_eq!(got, want, "lane {i} diverged at slot {k}");
+            // PartialEq on f64 admits -0.0 == 0.0; pin the hot physics
+            // channels down to the bit.
+            assert_eq!(
+                got.inlet.as_celsius().to_bits(),
+                want.inlet.as_celsius().to_bits(),
+                "lane {i} inlet bits diverged at slot {k}"
+            );
+            assert_eq!(
+                got.estimated_total.as_kilowatts().to_bits(),
+                want.estimated_total.as_kilowatts().to_bits(),
+                "lane {i} estimate bits diverged at slot {k}"
+            );
+        }
+    }
+
+    let reports = batch.take_reports();
+    for (i, (want, _)) in reference.iter().enumerate() {
+        assert_eq!(reports[i], want.clone(), "lane {i} report diverged");
+    }
+}
+
+/// A batch whose every lane is a [`MyopicPolicy`] takes the devirtualized
+/// decide fast path (the mixed batch above never does), so the fleet-shaped
+/// case needs its own slot-for-slot check. Thresholds straddle the trace so
+/// attacking, charging, and idle lanes are all present.
+#[test]
+fn all_myopic_batch_matches_sequential() {
+    const SLOTS: u64 = 2 * 1440;
+    let base = ColoConfig::paper_default().with_trace_len(7 * 1440);
+    let make = || -> Vec<Simulation> {
+        [6.8, 7.4, 99.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &kw)| {
+                Simulation::new(
+                    base.clone(),
+                    Box::new(MyopicPolicy::new(Power::from_kilowatts(kw))),
+                    1 + i as u64,
+                )
+            })
+            .collect()
+    };
+
+    let reference: Vec<(SimReport, Vec<SlotRecord>)> = make()
+        .into_iter()
+        .map(|mut sim| sim.run_recorded(SLOTS))
+        .collect();
+    assert!(
+        reference.iter().any(|(r, _)| r.metrics.attack_slots > 0),
+        "at least one myopic lane must actually attack"
+    );
+
+    let mut batch = BatchSim::new(make());
+    for k in 0..SLOTS {
+        batch.step_all();
+        for (i, (_, records)) in reference.iter().enumerate() {
+            assert_eq!(
+                batch.records()[i],
+                records[k as usize],
+                "myopic lane {i} diverged at slot {k}"
+            );
+        }
+    }
+    let reports = batch.take_reports();
+    for (i, (want, _)) in reference.iter().enumerate() {
+        assert_eq!(reports[i], want.clone(), "myopic lane {i} report diverged");
+    }
+}
+
+#[test]
+fn batch_hands_back_resumable_sims() {
+    const HALF: u64 = 1440;
+    let full: Vec<SimReport> = scenarios()
+        .into_iter()
+        .map(|mut sim| sim.run(2 * HALF))
+        .collect();
+
+    let mut batch = BatchSim::new(scenarios());
+    batch.run(HALF);
+    let resumed: Vec<SimReport> = batch
+        .into_sims()
+        .iter_mut()
+        .map(|sim| sim.run(HALF))
+        .collect();
+    assert_eq!(
+        resumed, full,
+        "scalar stepping must continue bit-exactly from where the batch left off"
+    );
+}
+
+#[test]
+fn sharded_run_is_thread_count_invariant() {
+    const SLOTS: u64 = 2 * 1440;
+    let reference = sequential_reference(SLOTS);
+    let reports_ref: Vec<SimReport> = reference.iter().map(|(r, _)| r.clone()).collect();
+    let down_ref: Vec<u32> = (0..SLOTS as usize)
+        .map(|k| {
+            reference
+                .iter()
+                .filter(|(_, records)| records[k].outage)
+                .count() as u32
+        })
+        .collect();
+
+    // 1 = fully sequential; 4 splits the 5 lanes unevenly; 16 grants more
+    // workers than lanes. All three must be byte-identical.
+    for threads in [1usize, 4, 16] {
+        hbm_par::configure_threads(threads);
+        let run = run_sharded(scenarios(), SLOTS);
+        assert_eq!(
+            run.reports, reports_ref,
+            "reports diverged at {threads} threads"
+        );
+        assert_eq!(
+            run.down_per_slot, down_ref,
+            "down counts diverged at {threads} threads"
+        );
+        assert_eq!(run.sims.len(), reports_ref.len());
+    }
+    hbm_par::configure_threads(1);
+}

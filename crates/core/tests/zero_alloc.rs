@@ -12,7 +12,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use hbm_core::{ColoConfig, ForesightedPolicy, MyopicPolicy, Simulation};
+use hbm_core::{BatchSim, ColoConfig, ForesightedPolicy, MyopicPolicy, Simulation};
 use hbm_units::Power;
 
 struct CountingAllocator;
@@ -79,11 +79,40 @@ fn steady_loop_allocates_nothing() {
 
     // The myopic policy covers the attack-triggering non-learning path.
     let policy = MyopicPolicy::new(Power::from_kilowatts(7.4));
-    let mut sim = Simulation::new(config, Box::new(policy), 2);
+    let mut sim = Simulation::new(config.clone(), Box::new(policy), 2);
     sim.warmup(2 * 1440);
     let myopic = allocations_during(&mut sim, 1440);
     assert_eq!(
         myopic, 0,
         "myopic steady loop must not touch the heap (got {myopic} allocations over a day)"
+    );
+
+    // The batch engine's steady loop must be just as clean: all per-slot
+    // scratch is preallocated at construction, so advancing a whole batch
+    // (learning and non-learning lanes, across emergency episodes) performs
+    // zero allocations per slot.
+    let sims: Vec<Simulation> = (0..8)
+        .map(|i| {
+            let policy: Box<dyn hbm_core::AttackPolicy> = if i % 2 == 0 {
+                Box::new(MyopicPolicy::new(Power::from_kilowatts(7.4)))
+            } else {
+                Box::new(ForesightedPolicy::paper_default(14.0, i))
+            };
+            Simulation::new(config.clone(), policy, i)
+        })
+        .collect();
+    let mut batch = BatchSim::new(sims);
+    for _ in 0..2 * 1440 {
+        batch.step_all(); // warm-up: Q-tables, emergency episodes, filters
+    }
+    let before = allocations();
+    for _ in 0..1440 {
+        let down = batch.step_all();
+        std::hint::black_box(down);
+    }
+    let batched = allocations() - before;
+    assert_eq!(
+        batched, 0,
+        "batch steady loop must not touch the heap (got {batched} allocations over a day)"
     );
 }

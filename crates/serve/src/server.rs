@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hbm_core::scenario::metrics_json;
+use hbm_core::scenario::{metrics_json, run_scenarios_batch, BatchScenario};
 use hbm_core::Scenario;
 use hbm_telemetry::json::JsonObject;
 use hbm_telemetry::{timing, RunManifest};
@@ -30,6 +30,9 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Maximum distinct scenario results kept in the memoization cache.
     pub cache_capacity: usize,
+    /// Maximum sites one `/v1/batch-simulate` request may ask for; larger
+    /// requests are rejected with `413` before touching the queue.
+    pub max_batch: usize,
     /// `Retry-After` value advertised on `503` responses, seconds.
     pub retry_after_secs: u64,
     /// Per-connection socket read/write timeout, so one stalled client
@@ -47,6 +50,7 @@ impl Default for ServeConfig {
             workers: 2,
             queue_capacity: 32,
             cache_capacity: 256,
+            max_batch: 64,
             retry_after_secs: 1,
             io_timeout: Duration::from_secs(10),
             manifest_dir: None,
@@ -60,6 +64,9 @@ struct Job {
     scenario: Scenario,
     canonical: String,
     stream: TcpStream,
+    /// `Some(count)` for a `/v1/batch-simulate` job (`scenario` is then the
+    /// site-0 template), `None` for a single `/v1/simulate`.
+    batch: Option<u64>,
 }
 
 struct Shared {
@@ -107,6 +114,7 @@ impl ServerHandle {
 pub fn declare_spans() {
     timing::declare_span("serve.request");
     timing::declare_span("serve.simulate");
+    timing::declare_span("serve.batch-simulate");
 }
 
 impl Server {
@@ -211,7 +219,10 @@ fn handle_connection(shared: &Shared, stream: TcpStream, workers: usize) {
         ("POST", "/v1/simulate") => {
             simulate(shared, request, stream);
         }
-        ("GET" | "POST", "/v1/simulate" | "/v1/health" | "/v1/metrics") => {
+        ("POST", "/v1/batch-simulate") => {
+            batch_simulate(shared, request, stream);
+        }
+        ("GET" | "POST", "/v1/simulate" | "/v1/batch-simulate" | "/v1/health" | "/v1/metrics") => {
             ServeMetrics::bump(&shared.metrics.bad_requests);
             respond(&mut stream, 405, &http::error_body("method not allowed"));
         }
@@ -259,6 +270,7 @@ fn simulate(shared: &Shared, request: Request, mut stream: TcpStream) {
         canonical: scenario.config_canonical(),
         scenario,
         stream,
+        batch: None,
     };
     match shared.queue.try_push(job) {
         Ok(()) => ServeMetrics::bump(&shared.metrics.simulate_accepted),
@@ -274,11 +286,137 @@ fn simulate(shared: &Shared, request: Request, mut stream: TcpStream) {
     }
 }
 
+/// Validates a `/v1/batch-simulate` body and enqueues the job: one
+/// scenario template plus a site count, rejected with `413` when the count
+/// exceeds [`ServeConfig::max_batch`] and shed with `503` when the queue
+/// is full. The worker runs the sites through the batch engine.
+fn batch_simulate(shared: &Shared, request: Request, mut stream: TcpStream) {
+    let parsed = std::str::from_utf8(&request.body)
+        .map_err(|_| "body is not valid UTF-8".to_string())
+        .and_then(|body| BatchScenario::from_flat_json(body.trim()))
+        .and_then(|batch| batch.scenario.build_config().map(|_| batch))
+        .and_then(|batch| {
+            if hbm_core::scenario::POLICY_NAMES.contains(&batch.scenario.policy.as_str()) {
+                Ok(batch)
+            } else {
+                Err(format!(
+                    "unknown policy {:?} (expected one of {})",
+                    batch.scenario.policy,
+                    hbm_core::scenario::POLICY_NAMES.join(", ")
+                ))
+            }
+        });
+    let batch = match parsed {
+        Ok(batch) => batch,
+        Err(message) => {
+            ServeMetrics::bump(&shared.metrics.bad_requests);
+            let _ = http::write_response(&mut stream, 400, &[], &http::error_body(&message));
+            return;
+        }
+    };
+    if batch.count > shared.config.max_batch as u64 {
+        ServeMetrics::bump(&shared.metrics.bad_requests);
+        let _ = http::write_response(
+            &mut stream,
+            413,
+            &[],
+            &http::error_body(&format!(
+                "count {} exceeds the batch limit {}",
+                batch.count, shared.config.max_batch
+            )),
+        );
+        return;
+    }
+    let job = Job {
+        canonical: batch.scenario.config_canonical(),
+        scenario: batch.scenario,
+        stream,
+        batch: Some(batch.count),
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => ServeMetrics::bump(&shared.metrics.simulate_accepted),
+        Err(mut job) => {
+            ServeMetrics::bump(&shared.metrics.shed_total);
+            let _ = http::write_response(
+                &mut job.stream,
+                503,
+                &[("Retry-After", shared.config.retry_after_secs.to_string())],
+                &http::error_body("queue full, retry later"),
+            );
+        }
+    }
+}
+
+/// Runs one batch job: cached sites are answered from the scenario cache
+/// (the per-site canonical strings are exactly the single-simulate keys),
+/// the rest run together through the batch engine, and freshly computed
+/// sites are inserted back so later single or batch requests hit.
+///
+/// Returns the assembled response body and whether every site was a hit.
+fn run_batch_job(
+    shared: &Shared,
+    scenario: &Scenario,
+    count: u64,
+) -> Result<(String, bool), String> {
+    let sites: Vec<Scenario> = (0..count).map(|i| scenario.site(i)).collect();
+    let canonicals: Vec<String> = sites.iter().map(Scenario::config_canonical).collect();
+    let mut bodies: Vec<Option<std::sync::Arc<String>>> = vec![None; sites.len()];
+    let mut missing: Vec<usize> = Vec::new();
+    for (i, canonical) in canonicals.iter().enumerate() {
+        match shared.cache.lookup(canonical) {
+            Some(Ok(body)) => bodies[i] = Some(body),
+            _ => missing.push(i),
+        }
+    }
+    let all_hit = missing.is_empty();
+    if !all_hit {
+        let span = timing::start();
+        let miss_sites: Vec<Scenario> = missing.iter().map(|&i| sites[i].clone()).collect();
+        let reports = run_scenarios_batch(&miss_sites)?;
+        timing::record_span("serve.batch-simulate", span);
+        for (&i, report) in missing.iter().zip(&reports) {
+            let body = metrics_json(&canonicals[i], &report.metrics) + "\n";
+            let (result, _) = shared.cache.get_or_compute(&canonicals[i], || Ok(body));
+            bodies[i] = Some(result?);
+        }
+    }
+    let mut out = format!("{{\"count\":{count},\"sites\":[");
+    for (i, body) in bodies.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(body.as_ref().expect("every site filled").trim_end());
+    }
+    out.push_str("]}\n");
+    Ok((out, all_hit))
+}
+
 /// One worker: pop jobs until the queue closes; serve each from the cache
 /// or by running the scenario.
 fn worker_loop(shared: &Shared) {
     while let Some(mut job) = shared.queue.pop() {
         let _busy = BusyGuard::new(&shared.metrics.workers_busy);
+        if let Some(count) = job.batch {
+            match run_batch_job(shared, &job.scenario, count) {
+                Ok((body, all_hit)) => {
+                    ServeMetrics::bump(&shared.metrics.simulate_ok);
+                    let extra = [
+                        ("X-Cache", if all_hit { "hit" } else { "miss" }.to_string()),
+                        ("X-Config-Hash", job.scenario.config_hash()),
+                    ];
+                    let _ = http::write_response(&mut job.stream, 200, &extra, body.as_bytes());
+                }
+                Err(message) => {
+                    let _ = http::write_response(
+                        &mut job.stream,
+                        500,
+                        &[],
+                        &http::error_body(&message),
+                    );
+                }
+            }
+            continue;
+        }
         let (result, hit) = shared.cache.get_or_compute(&job.canonical, || {
             let span = timing::start();
             let started = Instant::now();

@@ -63,6 +63,16 @@ fn post_simulate(addr: SocketAddr, body: &str) -> (u16, Vec<(String, String)>, S
     )
 }
 
+fn post_batch_simulate(addr: SocketAddr, body: &str) -> (u16, Vec<(String, String)>, String) {
+    exchange(
+        addr,
+        &format!(
+            "POST /v1/batch-simulate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
 fn get(addr: SocketAddr, path: &str) -> (u16, Vec<(String, String)>, String) {
     exchange(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
 }
@@ -160,6 +170,79 @@ fn bad_requests_get_4xx_not_a_hang() {
         json_u64(&metrics, "bad_requests") >= 7,
         "metrics: {metrics}"
     );
+
+    handle.stop();
+    thread.join().unwrap();
+}
+
+#[test]
+fn batch_simulate_parity_cache_reuse_and_bounds() {
+    let (addr, handle, thread) = boot(ServeConfig {
+        workers: 2,
+        max_batch: 4,
+        ..ServeConfig::default()
+    });
+
+    // Site i of a batch must be byte-identical to the shared scenario code
+    // path at seed + i (which /v1/simulate and the CLI print verbatim).
+    let mut template = hbm_core::Scenario::new("myopic");
+    template.days = 1;
+    template.warmup_days = 0;
+    template.seed = 40;
+    let expected_sites: Vec<String> = (0..3)
+        .map(|i| {
+            let site = template.site(i);
+            hbm_core::scenario::metrics_json(
+                &site.config_canonical(),
+                &site.run().expect("site scenario runs").metrics,
+            )
+        })
+        .collect();
+    let expected = format!("{{\"count\":3,\"sites\":[{}]}}\n", expected_sites.join(","));
+
+    let request = "{\"policy\":\"myopic\",\"days\":1,\"warmup_days\":0,\"seed\":40,\"count\":3}";
+    let (status, headers, body) = post_batch_simulate(addr, request);
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(header(&headers, "x-cache"), Some("miss"));
+    assert_eq!(body, expected);
+
+    // The per-site cache entries are the single-simulate entries: a single
+    // request for site 1 (seed 41) must hit without computing anything.
+    let single = "{\"policy\":\"myopic\",\"days\":1,\"warmup_days\":0,\"seed\":41}";
+    let (status, headers, single_body) = post_simulate(addr, single);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-cache"), Some("hit"));
+    assert_eq!(single_body.trim_end(), expected_sites[1]);
+
+    // And the whole batch again is a pure hit, byte-identical.
+    let (status, headers, again) = post_batch_simulate(addr, request);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-cache"), Some("hit"));
+    assert_eq!(again, body);
+
+    // A partially overlapping batch reuses the cached sites and computes
+    // only the new ones (count 4 covers seeds 40..43; 40..42 are cached).
+    let wider = "{\"policy\":\"myopic\",\"days\":1,\"warmup_days\":0,\"seed\":40,\"count\":4}";
+    let (status, headers, wide_body) = post_batch_simulate(addr, wider);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-cache"), Some("miss"));
+    assert!(wide_body.starts_with(&format!(
+        "{{\"count\":4,\"sites\":[{}",
+        expected_sites.join(",")
+    )));
+
+    // Oversize batches are rejected up front with 413.
+    let oversize = "{\"policy\":\"myopic\",\"days\":1,\"warmup_days\":0,\"seed\":40,\"count\":5}";
+    let (status, _, body) = post_batch_simulate(addr, oversize);
+    assert_eq!(status, 413, "body: {body}");
+
+    // Malformed batch bodies fail fast like single ones.
+    let (status, _, _) = post_batch_simulate(addr, "{\"policy\":\"myopic\",\"count\":0}");
+    assert_eq!(status, 400);
+    let (status, _, _) = post_batch_simulate(addr, "{\"policy\":\"zergling\",\"count\":2}");
+    assert_eq!(status, 400);
+    let (status, _, _) = get(addr, "/v1/batch-simulate");
+    assert_eq!(status, 405);
 
     handle.stop();
     thread.join().unwrap();

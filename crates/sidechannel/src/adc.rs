@@ -62,6 +62,16 @@ impl Adc {
         1u32 << self.bits
     }
 
+    /// Lower end of the input range, in volts.
+    pub fn min_volts(&self) -> f64 {
+        self.min_volts
+    }
+
+    /// Upper end of the input range, in volts.
+    pub fn max_volts(&self) -> f64 {
+        self.max_volts
+    }
+
     /// Size of one least-significant bit, in volts.
     pub fn lsb_volts(&self) -> f64 {
         (self.max_volts - self.min_volts) / self.levels() as f64

@@ -1,12 +1,16 @@
 //! The attacker's end-to-end load estimator.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use hbm_units::Power;
 
+use crate::math::{draw_uniform_pair, std_normal};
 use crate::{Adc, PduLine, PfcRipple};
+
+/// Number of standard-normal draws consumed by one [`VoltageSideChannel::estimate`].
+pub const NORMALS_PER_ESTIMATE: usize = 4;
 
 /// Configuration of the attacker's voltage side channel.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -109,33 +113,82 @@ impl VoltageSideChannel {
     /// Call once per simulation slot; the grid-wander state advances each
     /// call.
     pub fn estimate(&mut self, true_total: Power) -> Power {
-        let cfg = &self.config;
-        let n = cfg.samples_per_estimate.max(1) as f64;
-        let avg_factor = n.sqrt();
+        let mut u = [0.0; 2 * NORMALS_PER_ESTIMATE];
+        self.draw_uniforms(&mut u);
+        let mut z = [0.0; NORMALS_PER_ESTIMATE];
+        crate::math::box_muller_slice(
+            &u[..NORMALS_PER_ESTIMATE],
+            &u[NORMALS_PER_ESTIMATE..],
+            &mut z,
+        );
+        self.estimate_with_normals(true_total, &z)
+    }
 
-        // Slow grid wander: AR(1) with a long time constant.
-        self.wander = 0.995 * self.wander + cfg.grid_wander_volts * 0.1 * std_normal(&mut self.rng);
+    /// Draws the `2 ×` [`NORMALS_PER_ESTIMATE`] uniform variates feeding one
+    /// estimate into `out` (`u1` values first, then `u2` values).
+    ///
+    /// The noise processes are independent of the measured load, so the
+    /// draws can be hoisted ahead of the measurement: `draw_uniforms` +
+    /// Box–Muller + [`estimate_with_normals`](Self::estimate_with_normals)
+    /// consumes the RNG identically to [`estimate`](Self::estimate) and
+    /// produces bit-identical results. The batch engine uses this split to
+    /// run the Box–Muller transform as one packed pass over all lanes.
+    pub fn draw_uniforms(&mut self, out: &mut [f64; 2 * NORMALS_PER_ESTIMATE]) {
+        for i in 0..NORMALS_PER_ESTIMATE {
+            let (u1, u2) = draw_uniform_pair(&mut self.rng);
+            out[i] = u1;
+            out[NORMALS_PER_ESTIMATE + i] = u2;
+        }
+    }
 
-        // --- DC sag path ---
-        let true_v = cfg.line.outlet_volts(true_total) + self.wander;
-        let sensed_v = cfg.dc_adc.quantize(true_v)
-            + cfg.dc_adc.lsb_volts() / avg_factor * std_normal(&mut self.rng);
-        let p_dc = cfg.line.power_from_outlet_volts(sensed_v) * self.dc_gain_bias;
+    /// Applies the measurement model given pre-drawn standard normals
+    /// (see [`draw_uniforms`](Self::draw_uniforms)). Advances the
+    /// grid-wander state exactly as [`estimate`](Self::estimate) does.
+    ///
+    /// The math lives in `crate::lanes::estimate_kernel` — one op-for-op
+    /// IEEE-754 sequence shared with the packed
+    /// [`ChannelLanes`](crate::ChannelLanes) passes, so scalar and batched
+    /// stepping produce bit-identical estimates.
+    pub fn estimate_with_normals(
+        &mut self,
+        true_total: Power,
+        z: &[f64; NORMALS_PER_ESTIMATE],
+    ) -> Power {
+        let p = crate::lanes::LaneParams::derive(
+            &self.config,
+            self.dc_gain_bias,
+            self.ripple_gain_bias,
+        );
+        Power::from_watts(crate::lanes::estimate_kernel(
+            &p,
+            &mut self.wander,
+            true_total.as_watts(),
+            *z,
+        ))
+    }
 
-        // --- PFC ripple path ---
-        let amp_mv = cfg.ripple.amplitude_mv(true_total)
-            + cfg.ripple.process_noise_mv / avg_factor * std_normal(&mut self.rng);
-        let sensed_mv = cfg.ripple_adc.quantize(amp_mv / 1000.0) * 1000.0;
-        let p_ripple = cfg.ripple.power_from_amplitude(sensed_mv) * self.ripple_gain_bias;
+    /// The raw RNG state words (for [`ChannelLanes`](crate::ChannelLanes)'s
+    /// column-wise layout).
+    pub(crate) fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
 
-        // --- Fusion ---
-        // The ripple path is the workhorse (robust to grid wander); the DC
-        // path is a sanity anchor. Weights follow the inverse error
-        // variances of the two paths under the default calibration.
-        let fused = p_ripple * 0.9 + p_dc * 0.1;
+    /// Current grid-wander offset, in volts.
+    pub(crate) fn wander_volts(&self) -> f64 {
+        self.wander
+    }
 
-        let jammed = fused + cfg.extra_noise * std_normal(&mut self.rng);
-        jammed.positive_part()
+    /// The `(dc, ripple)` calibration biases drawn at setup.
+    pub(crate) fn gain_biases(&self) -> (f64, f64) {
+        (self.dc_gain_bias, self.ripple_gain_bias)
+    }
+
+    /// Overwrites the RNG and wander state (used by
+    /// [`ChannelLanes::sync_back`](crate::ChannelLanes::sync_back) and the
+    /// rejection tests); configuration and calibration biases are immutable.
+    pub(crate) fn restore_noise_state(&mut self, rng: [u64; 4], wander: f64) {
+        self.rng = StdRng::from_state(rng);
+        self.wander = wander;
     }
 
     /// Runs the channel over a whole series and returns `(estimate, error)`
@@ -148,19 +201,6 @@ impl VoltageSideChannel {
                 (est, est - p)
             })
             .collect()
-    }
-}
-
-/// One standard-normal draw via Box–Muller (rand ships no Gaussian sampler
-/// in the approved dependency set).
-fn std_normal<R: RngExt + ?Sized>(rng: &mut R) -> f64 {
-    loop {
-        let u1: f64 = rng.random();
-        if u1 <= f64::MIN_POSITIVE {
-            continue;
-        }
-        let u2: f64 = rng.random();
-        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
     }
 }
 
@@ -242,13 +282,23 @@ mod tests {
     }
 
     #[test]
-    fn std_normal_moments() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| std_normal(&mut rng)).collect();
-        let mean = samples.iter().sum::<f64>() / n as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
-        assert!(mean.abs() < 0.03, "mean {mean}");
-        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    fn split_estimate_matches_monolithic() {
+        let cfg = SideChannelConfig::paper_default().with_extra_noise(Power::from_kilowatts(0.1));
+        let mut whole = VoltageSideChannel::new(cfg, 21);
+        let mut split = VoltageSideChannel::new(cfg, 21);
+        for kw in [2.0, 4.5, 6.0, 7.8, 0.3] {
+            let p = Power::from_kilowatts(kw);
+            let mut u = [0.0; 2 * NORMALS_PER_ESTIMATE];
+            split.draw_uniforms(&mut u);
+            let mut z = [0.0; NORMALS_PER_ESTIMATE];
+            crate::math::box_muller_slice(
+                &u[..NORMALS_PER_ESTIMATE],
+                &u[NORMALS_PER_ESTIMATE..],
+                &mut z,
+            );
+            let a = whole.estimate(p);
+            let b = split.estimate_with_normals(p, &z);
+            assert_eq!(a.as_watts().to_bits(), b.as_watts().to_bits());
+        }
     }
 }

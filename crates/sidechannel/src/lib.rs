@@ -38,10 +38,13 @@
 
 mod adc;
 mod channel;
+mod lanes;
+pub mod math;
 mod signal;
 pub mod stats;
 pub mod waveform;
 
 pub use adc::Adc;
-pub use channel::{SideChannelConfig, VoltageSideChannel};
+pub use channel::{SideChannelConfig, VoltageSideChannel, NORMALS_PER_ESTIMATE};
+pub use lanes::ChannelLanes;
 pub use signal::{PduLine, PfcRipple};

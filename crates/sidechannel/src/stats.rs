@@ -74,6 +74,32 @@ impl Histogram {
         (self.hi - self.lo) / self.bins.len() as f64
     }
 
+    /// Lower edge of the range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the range (exclusive).
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Overwrites the counts wholesale (range and bin count are unchanged).
+    ///
+    /// This is the write-back half of keeping many same-shaped histograms in
+    /// a packed lane-major matrix: accumulate externally with the exact
+    /// [`add`](Histogram::add) binning arithmetic, then flow the counts back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` has a different number of bins.
+    pub fn set_counts(&mut self, counts: &[u64], underflow: u64, overflow: u64) {
+        assert_eq!(counts.len(), self.bins.len(), "bin count mismatch");
+        self.bins.copy_from_slice(counts);
+        self.underflow = underflow;
+        self.overflow = overflow;
+    }
+
     /// Raw bin counts.
     pub fn counts(&self) -> &[u64] {
         &self.bins

@@ -124,15 +124,18 @@ impl ZoneModel {
     }
 
     fn advance_seconds(&mut self, it_load: Power, h: f64) {
-        let capacity = self.cooling.effective_capacity(self.inlet);
-        let rise = (self.inlet - self.cooling.supply)
-            .positive_part()
-            .as_celsius();
-        let removable = it_load + Power::from_watts(self.pulldown_w_per_k * rise);
-        let q_cool = removable.min(capacity);
-        let net = it_load - q_cool; // may be negative (cooling down)
-        let delta = TemperatureDelta::from_celsius(net.as_watts() * h / self.heat_capacity_j_per_k);
-        self.inlet = (self.inlet + delta).max(self.cooling.supply);
+        self.inlet = Temperature::from_celsius(substep_inlet_celsius(
+            self.inlet.as_celsius(),
+            it_load.as_watts(),
+            h,
+            self.cooling.capacity.as_watts(),
+            self.cooling.supply.as_celsius(),
+            self.cooling.derate_onset.as_celsius(),
+            self.cooling.derate_per_kelvin,
+            self.cooling.min_capacity_fraction,
+            self.heat_capacity_j_per_k,
+            self.pulldown_w_per_k,
+        ));
     }
 
     /// Analytic time for the inlet to rise from the supply setpoint to
@@ -165,6 +168,195 @@ impl ZoneModel {
         assert!(overload > Power::ZERO, "overload must be positive");
         let margin = (threshold - start).positive_part().as_celsius();
         Duration::from_seconds(self.heat_capacity_j_per_k * margin / overload.as_watts())
+    }
+}
+
+/// One explicit-Euler sub-step of the lumped-capacitance zone ODE, on raw
+/// `f64` state.
+///
+/// This is the single source of truth for the zone dynamics: both
+/// [`ZoneModel::step`] (scalar, one container) and [`ZoneLanes::step_all`]
+/// (SoA, a whole batch of containers) call it, so the two paths apply
+/// exactly the same IEEE-754 operation sequence and stay bit-identical. The
+/// body is branch-free element-wise arithmetic (`max`/`min` compile to SIMD
+/// min/max), which is what lets the batch loop auto-vectorize.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn substep_inlet_celsius(
+    inlet_c: f64,
+    it_load_w: f64,
+    h: f64,
+    capacity_w: f64,
+    supply_c: f64,
+    derate_onset_c: f64,
+    derate_per_kelvin: f64,
+    min_capacity_fraction: f64,
+    heat_capacity_j_per_k: f64,
+    pulldown_w_per_k: f64,
+) -> f64 {
+    let excess = (inlet_c - derate_onset_c).max(0.0);
+    let fraction = (1.0 - derate_per_kelvin * excess).max(min_capacity_fraction);
+    let capacity = capacity_w * fraction;
+    let rise = (inlet_c - supply_c).max(0.0);
+    let removable = it_load_w + pulldown_w_per_k * rise;
+    let q_cool = removable.min(capacity);
+    let net = it_load_w - q_cool; // may be negative (cooling down)
+    let delta = net * h / heat_capacity_j_per_k;
+    (inlet_c + delta).max(supply_c)
+}
+
+/// Structure-of-arrays batch of zone models advanced in lockstep.
+///
+/// Each lane is one container's lumped-capacitance model; lanes are fully
+/// independent and may carry different cooling plants and calibrations. All
+/// per-lane state and parameters live in contiguous `f64` arrays so the
+/// sub-step sweep in [`step_all`](Self::step_all) is a tight vectorizable
+/// loop over the batch dimension instead of pointer-chasing `ZoneModel`
+/// structs.
+///
+/// Lane `i` evolves bit-identically to a standalone [`ZoneModel`] given the
+/// same load sequence: both call the same sub-step kernel, and lanes do not
+/// interact.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneLanes {
+    inlet_c: Vec<f64>,
+    capacity_w: Vec<f64>,
+    supply_c: Vec<f64>,
+    derate_onset_c: Vec<f64>,
+    derate_per_kelvin: Vec<f64>,
+    min_capacity_fraction: Vec<f64>,
+    heat_capacity_j_per_k: Vec<f64>,
+    pulldown_w_per_k: Vec<f64>,
+    substep_s: f64,
+}
+
+impl ZoneLanes {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        ZoneLanes::default()
+    }
+
+    /// Appends one lane initialized from `model` (parameters and current
+    /// inlet temperature are copied).
+    pub fn push(&mut self, model: &ZoneModel) {
+        if self.inlet_c.is_empty() {
+            self.substep_s = model.substep.as_seconds();
+        } else {
+            assert_eq!(
+                self.substep_s,
+                model.substep.as_seconds(),
+                "all lanes must share the integration sub-step"
+            );
+        }
+        self.inlet_c.push(model.inlet.as_celsius());
+        self.capacity_w.push(model.cooling.capacity.as_watts());
+        self.supply_c.push(model.cooling.supply.as_celsius());
+        self.derate_onset_c
+            .push(model.cooling.derate_onset.as_celsius());
+        self.derate_per_kelvin.push(model.cooling.derate_per_kelvin);
+        self.min_capacity_fraction
+            .push(model.cooling.min_capacity_fraction);
+        self.heat_capacity_j_per_k.push(model.heat_capacity_j_per_k);
+        self.pulldown_w_per_k.push(model.pulldown_w_per_k);
+    }
+
+    /// Builds a batch from a slice of zone models.
+    pub fn from_models(models: &[ZoneModel]) -> Self {
+        let mut lanes = ZoneLanes::new();
+        for model in models {
+            lanes.push(model);
+        }
+        lanes
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.inlet_c.len()
+    }
+
+    /// Whether the batch has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.inlet_c.is_empty()
+    }
+
+    /// Per-lane inlet temperatures, °C.
+    pub fn inlet_celsius(&self) -> &[f64] {
+        &self.inlet_c
+    }
+
+    /// Per-lane supply setpoints, °C.
+    pub fn supply_celsius(&self) -> &[f64] {
+        &self.supply_c
+    }
+
+    /// Inlet temperature of one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn inlet(&self, lane: usize) -> Temperature {
+        Temperature::from_celsius(self.inlet_c[lane])
+    }
+
+    /// Advances every lane by `dt` with its constant IT load from
+    /// `it_loads_w` (watts, one entry per lane), sub-stepping exactly like
+    /// [`ZoneModel::step`]. Emits the `batch.zone` telemetry span with one
+    /// unit per lane-sub-step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `it_loads_w` length differs from the lane count or `dt` is
+    /// non-positive.
+    pub fn step_all(&mut self, it_loads_w: &[f64], dt: Duration) {
+        assert_eq!(it_loads_w.len(), self.len(), "one IT load per lane");
+        assert!(dt > Duration::ZERO, "step duration must be positive");
+        let started = hbm_telemetry::timing::start();
+        // Cache-blocked loop nest: a slot integrates many sub-steps, and one
+        // full-batch sweep touches nine f64 columns — far more than L1. Runs
+        // all sub-steps over one block of lanes before moving on, so a
+        // block's columns (9 × BLOCK × 8 B ≈ 18 KiB) stay cache-hot for the
+        // whole slot. Lanes are independent, so the per-lane arithmetic (and
+        // the sub-step schedule `h = remaining.min(substep_s)`) is exactly
+        // the sweep order's — results are bit-identical.
+        const BLOCK: usize = 256;
+        let mut substeps: u64 = 0;
+        let mut start = 0;
+        while start < self.len() {
+            let end = (start + BLOCK).min(self.len());
+            substeps = 0;
+            let mut remaining = dt.as_seconds();
+            while remaining > 0.0 {
+                let h = remaining.min(self.substep_s);
+                // Zipped iteration (rather than indexing nine separate
+                // `Vec`s) lets the compiler drop the per-access bounds
+                // checks and keep the branch-free kernel vectorized over the
+                // lane dimension.
+                let lanes = self.inlet_c[start..end]
+                    .iter_mut()
+                    .zip(&it_loads_w[start..end])
+                    .zip(&self.capacity_w[start..end])
+                    .zip(&self.supply_c[start..end])
+                    .zip(&self.derate_onset_c[start..end])
+                    .zip(&self.derate_per_kelvin[start..end])
+                    .zip(&self.min_capacity_fraction[start..end])
+                    .zip(&self.heat_capacity_j_per_k[start..end])
+                    .zip(&self.pulldown_w_per_k[start..end]);
+                for ((((((((inlet, &load), &cap), &sup), &onset), &dpk), &minf), &hc), &pwk) in
+                    lanes
+                {
+                    *inlet =
+                        substep_inlet_celsius(*inlet, load, h, cap, sup, onset, dpk, minf, hc, pwk);
+                }
+                substeps += 1;
+                remaining -= h;
+            }
+            start = end;
+        }
+        hbm_telemetry::timing::record_span_units(
+            "batch.zone",
+            started,
+            substeps * self.len() as u64,
+        );
     }
 }
 
@@ -285,6 +477,47 @@ mod tests {
             Power::from_kilowatts(1.0),
         );
         assert!(from_29 < from_27);
+    }
+
+    #[test]
+    fn lanes_match_scalar_models_bitwise() {
+        let mut models = vec![
+            ZoneModel::paper_default(),
+            ZoneModel::prototype(),
+            ZoneModel::new(
+                CoolingSystem::paper_default().with_capacity(Power::from_kilowatts(9.5)),
+                35_000.0,
+                600.0,
+            ),
+        ];
+        let mut lanes = ZoneLanes::from_models(&models);
+        let dt = Duration::from_minutes(1.0);
+        for k in 0..200u64 {
+            // Mix of overload, underload and idle, different per lane.
+            let loads: Vec<f64> = (0..models.len())
+                .map(|i| ((k + i as u64) % 5) as f64 * 2_500.0)
+                .collect();
+            for (model, &w) in models.iter_mut().zip(loads.iter()) {
+                model.step(Power::from_watts(w), dt);
+            }
+            lanes.step_all(&loads, dt);
+            for (i, model) in models.iter().enumerate() {
+                assert_eq!(
+                    lanes.inlet_celsius()[i].to_bits(),
+                    model.inlet().as_celsius().to_bits(),
+                    "lane {i} diverged at slot {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_expose_supply_and_inlet() {
+        let lanes = ZoneLanes::from_models(&[ZoneModel::paper_default()]);
+        assert_eq!(lanes.len(), 1);
+        assert!(!lanes.is_empty());
+        assert_eq!(lanes.supply_celsius(), &[27.0]);
+        assert_eq!(lanes.inlet(0), Temperature::from_celsius(27.0));
     }
 
     #[test]

@@ -98,6 +98,11 @@ awk -F'"' '
             printf ", %.2fM slots/s (recorder on)", 1000 / on
         if (off > 0)
             printf "\n"
+        fb = median["fleet_slots_per_sec/batched"]
+        fi = median["fleet_slots_per_sec/independent_baseline"]
+        if (fb > 0 && fi > 0)
+            printf "fleet aggregate throughput (1000 sites): batched %.2fM slots/s vs independent %.2fM  ->  %.1fx\n",
+                1e6 / fb, 1e6 / fi, fi / fb
         plain = median["cfd_step_one_minute_40_servers"]
         timed = median["cfd_step_one_minute_40_servers_timed"]
         if (plain > 0 && timed > 0)

@@ -1,0 +1,51 @@
+#!/bin/sh
+# CI perf guard: fails when a guarded benchmark entry in a fresh (smoke)
+# run regresses more than MAX_RATIO versus the pinned reference JSON.
+#
+# Guarded entries are the two headline throughput medians:
+#
+#   * sim_step_slots_per_sec/recorder_off  (single-scenario steady loop)
+#   * fleet_slots_per_sec/batched          (batched fleet engine)
+#
+# Smoke runs on shared CI runners are noisy, hence the wide default
+# guardband (2x): the guard catches structural regressions — lost
+# vectorization, an accidental debug build, a quadratic slip — not
+# percent-level drift. Pinned numbers come from a quiet machine via
+# scripts/bench_summary.sh.
+#
+# Usage: scripts/perf_guard.sh <fresh.json> [pinned.json] [max_ratio]
+set -eu
+
+fresh=$1
+pinned=${2:-BENCH_thermal.json}
+max=${3:-2.0}
+
+# Prints the median_ns of the named entry in a bench JSON, empty if absent.
+median_of() {
+    awk -F'"' -v want="$2" '
+        /"name"/ && $4 == want {
+            split($7, parts, /[ :,]+/)
+            print parts[2] + 0
+            exit
+        }
+    ' "$1"
+}
+
+status=0
+for name in "sim_step_slots_per_sec/recorder_off" "fleet_slots_per_sec/batched"; do
+    ref=$(median_of "$pinned" "$name")
+    new=$(median_of "$fresh" "$name")
+    if [ -z "$ref" ] || [ -z "$new" ]; then
+        echo "perf guard: entry '$name' missing (pinned='${ref:-}', fresh='${new:-}')" >&2
+        status=1
+        continue
+    fi
+    ratio=$(awk -v a="$new" -v b="$ref" 'BEGIN { printf "%.3f", a / b }')
+    if awk -v r="$ratio" -v m="$max" 'BEGIN { exit !(r <= m) }'; then
+        echo "perf guard: $name at ${ratio}x of pinned median (limit ${max}x) - ok"
+    else
+        echo "perf guard: $name regressed to ${ratio}x of pinned median (limit ${max}x)" >&2
+        status=1
+    fi
+done
+exit $status

@@ -117,6 +117,19 @@ pub mod rngs {
         fn rotl(x: u64, k: u32) -> u64 {
             x.rotate_left(k)
         }
+
+        /// The raw xoshiro256++ state words. Together with
+        /// [`StdRng::from_state`] this lets batch engines keep many
+        /// generators in structure-of-arrays form and step them in lockstep
+        /// while staying on the exact same stream as the scalar generator.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from raw state words (see [`StdRng::state`]).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
     }
 
     impl SeedableRng for StdRng {
@@ -138,6 +151,10 @@ pub mod rngs {
     }
 
     impl RngCore for StdRng {
+        // `#[inline]` so the generator fuses into callers' sampling loops
+        // across crate boundaries without relying on LTO (the workspace
+        // builds without it; see the profile note in the root Cargo.toml).
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
             let t = self.s[1] << 17;
