@@ -162,6 +162,16 @@ impl RandomPolicy {
             rng: StdRng::seed_from_u64(seed),
         }
     }
+
+    /// RNG state words for checkpoint serialization.
+    pub(crate) fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Overwrites the RNG from checkpointed state words.
+    pub(crate) fn restore_rng(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
 }
 
 impl AttackPolicy for RandomPolicy {
@@ -299,6 +309,11 @@ impl OneShotPolicy {
     /// Whether the attack has been launched.
     pub fn triggered(&self) -> bool {
         self.triggered
+    }
+
+    /// Overwrites the trigger latch (checkpoint restore).
+    pub(crate) fn set_triggered(&mut self, triggered: bool) {
+        self.triggered = triggered;
     }
 }
 
@@ -696,6 +711,53 @@ impl ForesightedPolicy {
                 }
             })
             .collect()
+    }
+
+    /// Mutable access to the learning rule (checkpoint restore of the Q
+    /// tables).
+    pub(crate) fn learner_mut(&mut self) -> &mut Learner {
+        &mut self.agent
+    }
+
+    /// RNG state words for checkpoint serialization.
+    pub(crate) fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Overwrites the exploration RNG from checkpointed state words.
+    pub(crate) fn restore_rng(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
+
+    /// Whether learning and exploration are enabled.
+    pub(crate) fn learning_enabled(&self) -> bool {
+        self.learning_enabled
+    }
+
+    /// The campaign state as `(code, launch-estimate watts)`:
+    /// 0 = idle, 1 = attacking, 2 = recharging (checkpoint serialization).
+    pub(crate) fn campaign_code(&self) -> (u64, f64) {
+        match self.campaign {
+            Campaign::Idle => (0, 0.0),
+            Campaign::Attacking { launch_est } => (1, launch_est.as_watts()),
+            Campaign::Recharging { launch_est } => (2, launch_est.as_watts()),
+        }
+    }
+
+    /// Overwrites the campaign state from its checkpointed
+    /// `(code, launch-estimate watts)` form.
+    pub(crate) fn restore_campaign(&mut self, code: u64, launch_watts: f64) -> Result<(), String> {
+        self.campaign = match code {
+            0 => Campaign::Idle,
+            1 => Campaign::Attacking {
+                launch_est: Power::from_watts(launch_watts),
+            },
+            2 => Campaign::Recharging {
+                launch_est: Power::from_watts(launch_watts),
+            },
+            other => return Err(format!("invalid campaign code {other}")),
+        };
+        Ok(())
     }
 
     /// The load-bin centers of the policy matrix columns, in kW.

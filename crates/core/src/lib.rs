@@ -47,6 +47,7 @@ mod fleet;
 mod metrics;
 pub mod scenario;
 mod sim;
+mod state;
 
 pub use attacker::{
     AttackAction, AttackPolicy, ForesightedPolicy, Learner, MyopicPolicy, Observation,
@@ -57,8 +58,9 @@ pub use config::ColoConfig;
 pub use cost::{CostModel, CostReport};
 pub use fleet::{coordinated_one_shot, Fleet, FleetReport};
 pub use metrics::Metrics;
-pub use scenario::Scenario;
+pub use scenario::{Perturbation, Scenario};
 pub use sim::{SimReport, Simulation, SlotRecord};
+pub use state::SNAPSHOT_SCHEMA;
 
 /// The crate version, for run manifests.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

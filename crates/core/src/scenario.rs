@@ -236,6 +236,22 @@ impl Scenario {
         Ok(config)
     }
 
+    /// Builds a fresh simulation for this scenario *without* running
+    /// warm-up, returning it with the `needs_warmup` flag from
+    /// [`build_policy`]. This is the construction path the experiment
+    /// platform uses: create runs warm-up once, and checkpoint restore
+    /// rebuilds through here before overwriting the dynamic state
+    /// ([`crate::Simulation::restore_from_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an unknown policy or invalid configuration.
+    pub fn build_sim(&self) -> Result<(Simulation, bool), String> {
+        let config = self.build_config()?;
+        let (policy, needs_warmup) = build_policy(&self.policy, &config, self.seed)?;
+        Ok((Simulation::new(config, policy, self.seed), needs_warmup))
+    }
+
     /// Builds the configuration and policy, runs the simulation (warming
     /// up learning policies), and returns the report.
     ///
@@ -254,6 +270,30 @@ impl Scenario {
             self.slots(),
             needs_warmup,
         ))
+    }
+
+    /// Serializes the scenario as one flat JSON object — the inverse of
+    /// [`Scenario::from_flat_json`] (field for field, overrides included
+    /// only when set). The experiment store persists this in manifests so
+    /// a restarted daemon can rebuild the exact scenario.
+    pub fn to_flat_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str("policy", &self.policy)
+            .u64("days", self.days)
+            .u64("warmup_days", self.warmup_days)
+            .u64("seed", self.seed);
+        for (key, value) in [
+            ("utilization", self.utilization),
+            ("attack_load_kw", self.attack_load_kw),
+            ("battery_kwh", self.battery_kwh),
+            ("threshold_c", self.threshold_c),
+            ("cap_w", self.cap_w),
+        ] {
+            if let Some(v) = value {
+                o.f64(key, v);
+            }
+        }
+        o.finish()
     }
 
     /// Parses a scenario from one flat JSON object (an `hbm-serve`
@@ -292,6 +332,100 @@ impl Scenario {
             return Err("missing required field \"policy\"".into());
         }
         Ok(scenario)
+    }
+}
+
+/// Mid-run overrides a perturb request may apply to a live experiment:
+/// the workload mix, the attack intensity, and the operator's defense
+/// knobs — the same five fields [`Scenario`] accepts as overrides, so a
+/// perturbed experiment is always equivalent to *some* scenario.
+///
+/// Applying a perturbation rebuilds the simulation from the perturbed
+/// scenario and transplants the dynamic state
+/// ([`crate::Simulation::restore_from_json`]); a utilization change
+/// therefore regenerates the benign trace deterministically from the
+/// scenario seed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Perturbation {
+    /// New mean utilization of the colocation capacity in `[0, 1]`.
+    pub utilization: Option<f64>,
+    /// New battery-fed attack load, kW.
+    pub attack_load_kw: Option<f64>,
+    /// New attacker battery capacity, kWh.
+    pub battery_kwh: Option<f64>,
+    /// New emergency-declaration inlet threshold, °C.
+    pub threshold_c: Option<f64>,
+    /// New per-server emergency power cap, W.
+    pub cap_w: Option<f64>,
+}
+
+impl Perturbation {
+    /// Parses a perturbation from one flat JSON object (an `hbm-serve`
+    /// perturb request body). All fields optional; unknown keys rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed field.
+    pub fn from_flat_json(body: &str) -> Result<Perturbation, String> {
+        let mut p = Perturbation::default();
+        for (key, value) in parse_flat_object(body)? {
+            match key.as_str() {
+                "utilization" => p.utilization = Some(json_f64(&key, &value)?),
+                "attack_load_kw" => p.attack_load_kw = Some(json_f64(&key, &value)?),
+                "battery_kwh" => p.battery_kwh = Some(json_f64(&key, &value)?),
+                "threshold_c" => p.threshold_c = Some(json_f64(&key, &value)?),
+                "cap_w" => p.cap_w = Some(json_f64(&key, &value)?),
+                other => return Err(format!("unknown field {other:?}")),
+            }
+        }
+        Ok(p)
+    }
+
+    /// Serializes the perturbation as one flat JSON object — the inverse
+    /// of [`Perturbation::from_flat_json`], with only the set fields
+    /// emitted. This is the body an `hbm-serve` perturb request sends.
+    pub fn to_flat_json(&self) -> String {
+        let mut o = JsonObject::new();
+        for (key, value) in [
+            ("utilization", self.utilization),
+            ("attack_load_kw", self.attack_load_kw),
+            ("battery_kwh", self.battery_kwh),
+            ("threshold_c", self.threshold_c),
+            ("cap_w", self.cap_w),
+        ] {
+            if let Some(v) = value {
+                o.f64(key, v);
+            }
+        }
+        o.finish()
+    }
+
+    /// Whether no field is set.
+    pub fn is_empty(&self) -> bool {
+        *self == Perturbation::default()
+    }
+
+    /// The scenario with this perturbation's overrides applied; unset
+    /// fields keep the base value. The result's canonical string is the
+    /// effective configuration the experiment runs from here on.
+    pub fn apply(&self, base: &Scenario) -> Scenario {
+        let mut s = base.clone();
+        if self.utilization.is_some() {
+            s.utilization = self.utilization;
+        }
+        if self.attack_load_kw.is_some() {
+            s.attack_load_kw = self.attack_load_kw;
+        }
+        if self.battery_kwh.is_some() {
+            s.battery_kwh = self.battery_kwh;
+        }
+        if self.threshold_c.is_some() {
+            s.threshold_c = self.threshold_c;
+        }
+        if self.cap_w.is_some() {
+            s.cap_w = self.cap_w;
+        }
+        s
     }
 }
 

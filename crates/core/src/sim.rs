@@ -120,25 +120,28 @@ pub(crate) fn emit_sample(rec: &mut dyn Recorder, r: &SlotRecord, raw_estimate: 
 
 /// The edge-colocation simulator (see the crate docs for the slot
 /// sequence).
+///
+/// Fields are `pub(crate)` so the checkpoint module (`crate::state`) can
+/// serialize and restore the dynamic state bit-exactly.
 pub struct Simulation {
-    config: ColoConfig,
-    trace: PowerTrace,
-    zone: ZoneModel,
-    protocol: EmergencyProtocol,
-    battery: Battery,
-    side_channel: VoltageSideChannel,
-    policy: Box<dyn AttackPolicy>,
-    slot_index: u64,
-    metrics: Metrics,
-    pending: Option<PendingTransition>,
-    outage_remaining: Option<Duration>,
-    prev_capping: bool,
+    pub(crate) config: ColoConfig,
+    pub(crate) trace: PowerTrace,
+    pub(crate) zone: ZoneModel,
+    pub(crate) protocol: EmergencyProtocol,
+    pub(crate) battery: Battery,
+    pub(crate) side_channel: VoltageSideChannel,
+    pub(crate) policy: Box<dyn AttackPolicy>,
+    pub(crate) slot_index: u64,
+    pub(crate) metrics: Metrics,
+    pub(crate) pending: Option<PendingTransition>,
+    pub(crate) outage_remaining: Option<Duration>,
+    pub(crate) prev_capping: bool,
     /// EMA state of the attacker's filtered side-channel estimate.
-    estimate_filter: Option<Power>,
+    pub(crate) estimate_filter: Option<Power>,
     /// Optional per-slot telemetry sink. `None` costs one branch per slot;
     /// recording itself never touches any simulation RNG, so traced and
     /// untraced runs produce identical trajectories.
-    recorder: Option<Box<dyn Recorder>>,
+    pub(crate) recorder: Option<Box<dyn Recorder>>,
 }
 
 impl Simulation {

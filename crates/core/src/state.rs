@@ -1,0 +1,435 @@
+//! Bit-exact simulation checkpoints (the `hbm-serve` experiment schema).
+//!
+//! A checkpoint captures everything that *evolves* during a run — RNG state
+//! words, the zone inlet, protocol and campaign state machines, battery
+//! energy, the EMA estimate filter, the pending learning transition, metric
+//! accumulators (histogram included), and the policy's Q tables — as one
+//! flat-JSON line. Everything *static* (the configuration, the workload
+//! trace, grid geometry, calibration biases) is deliberately **not**
+//! serialized: it re-derives deterministically from the [`Scenario`] that
+//! created the run, so restore means "rebuild from the scenario, then
+//! overwrite the dynamic state". [`Simulation::restore_from_json`] applied
+//! to a freshly built simulation continues bit-identically to the
+//! uninterrupted run (`crates/core/tests/checkpoint.rs` proves it slot for
+//! slot, and the serve layer's kill-and-restore test proves it across a
+//! daemon restart).
+//!
+//! Numbers round-trip exactly: floats use the shortest-round-trip encoding
+//! of [`hbm_telemetry::json::push_json_f64`] (bit-exact by test), counters
+//! stay far below 2⁵³, and full-range RNG words are hex strings. Quantities
+//! serialize in their type's *internal* unit (kilowatt-hours for
+//! [`Energy`], watts for [`Power`], seconds, celsius) — converting units
+//! here would cost the last bit and break bit-exactness.
+//!
+//! [`Scenario`]: crate::Scenario
+
+use hbm_telemetry::json::{
+    parse_flat_object, push_json_f64_array, push_json_u64_array, JsonObject, JsonValue,
+};
+use hbm_units::{Duration, Energy, Power, Temperature};
+
+use crate::attacker::{ForesightedPolicy, Learner, OneShotPolicy, RandomPolicy};
+use crate::sim::PendingTransition;
+use crate::{AttackAction, Metrics, Observation, Simulation};
+
+/// Schema tag of the checkpoint line; bump when the layout changes.
+pub const SNAPSHOT_SCHEMA: &str = "hbm-checkpoint-v1";
+
+fn action_name(a: AttackAction) -> &'static str {
+    match a {
+        AttackAction::Charge => "charge",
+        AttackAction::Attack => "attack",
+        AttackAction::Standby => "standby",
+    }
+}
+
+fn action_from_name(s: &str) -> Result<AttackAction, String> {
+    match s {
+        "charge" => Ok(AttackAction::Charge),
+        "attack" => Ok(AttackAction::Attack),
+        "standby" => Ok(AttackAction::Standby),
+        other => Err(format!("unknown action {other:?}")),
+    }
+}
+
+fn push_hex_array(out: &mut String, words: &[u64; 4]) {
+    out.push('[');
+    for (i, w) in words.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&format!("{w:016x}"));
+        out.push('"');
+    }
+    out.push(']');
+}
+
+/// Decoded checkpoint fields with typed, error-reporting accessors.
+struct Fields(Vec<(String, JsonValue)>);
+
+impl Fields {
+    fn get(&self, key: &str) -> Result<&JsonValue, String> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("checkpoint missing field {key:?}"))
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, String> {
+        self.get(key)?
+            .as_f64()
+            .ok_or_else(|| format!("field {key:?} is not a number"))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        let v = self.f64(key)?;
+        if v < 0.0 || v.fract() != 0.0 || v > 9e15 {
+            return Err(format!("field {key:?} is not a u64: {v}"));
+        }
+        Ok(v as u64)
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        self.get(key)?
+            .as_bool()
+            .ok_or_else(|| format!("field {key:?} is not a boolean"))
+    }
+
+    fn str(&self, key: &str) -> Result<&str, String> {
+        self.get(key)?
+            .as_str()
+            .ok_or_else(|| format!("field {key:?} is not a string"))
+    }
+
+    /// A number-or-null field, `null` meaning `None`.
+    fn opt_f64(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.get(key)? {
+            JsonValue::Null => Ok(None),
+            v => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| format!("field {key:?} is not a number or null")),
+        }
+    }
+
+    fn arr(&self, key: &str) -> Result<&[JsonValue], String> {
+        self.get(key)?
+            .as_array()
+            .ok_or_else(|| format!("field {key:?} is not an array"))
+    }
+
+    fn f64_array(&self, key: &str) -> Result<Vec<f64>, String> {
+        self.arr(key)?
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| format!("field {key:?} has a non-number element"))
+            })
+            .collect()
+    }
+
+    fn u64_array(&self, key: &str) -> Result<Vec<u64>, String> {
+        self.arr(key)?
+            .iter()
+            .map(|v| match v.as_f64() {
+                Some(x) if x >= 0.0 && x.fract() == 0.0 && x <= 9e15 => Ok(x as u64),
+                _ => Err(format!("field {key:?} has a non-u64 element")),
+            })
+            .collect()
+    }
+
+    fn hex4(&self, key: &str) -> Result<[u64; 4], String> {
+        let items = self.arr(key)?;
+        if items.len() != 4 {
+            return Err(format!("field {key:?} must hold 4 RNG words"));
+        }
+        let mut words = [0u64; 4];
+        for (w, v) in words.iter_mut().zip(items) {
+            let s = v
+                .as_str()
+                .ok_or_else(|| format!("field {key:?} has a non-string word"))?;
+            *w = u64::from_str_radix(s, 16)
+                .map_err(|e| format!("field {key:?} has a bad hex word {s:?}: {e}"))?;
+        }
+        Ok(words)
+    }
+}
+
+impl Simulation {
+    /// Serializes the dynamic state as one flat-JSON checkpoint line
+    /// (schema [`SNAPSHOT_SCHEMA`]; see the module docs for what is and is
+    /// not captured).
+    pub fn snapshot_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str("schema", SNAPSHOT_SCHEMA);
+        o.str("policy", self.policy.name());
+        o.u64("slot_index", self.slot_index);
+        o.f64("inlet_c", self.zone.inlet().as_celsius());
+        let (proto, proto_secs) = match self.protocol.state() {
+            hbm_power::ProtocolState::Normal => ("normal", 0.0),
+            hbm_power::ProtocolState::Watch { over_threshold_for } => {
+                ("watch", over_threshold_for.as_seconds())
+            }
+            hbm_power::ProtocolState::Emergency { remaining } => {
+                ("emergency", remaining.as_seconds())
+            }
+            hbm_power::ProtocolState::Outage => ("outage", 0.0),
+        };
+        o.str("protocol", proto);
+        o.f64("protocol_secs", proto_secs);
+        o.f64("battery_kwh", self.battery.stored().as_kilowatt_hours());
+        let mut rng = String::new();
+        push_hex_array(&mut rng, &self.side_channel.rng_state());
+        o.raw("sc_rng", &rng);
+        o.f64("sc_wander", self.side_channel.wander_volts());
+        match self.estimate_filter {
+            Some(p) => o.f64("filter_w", p.as_watts()),
+            None => o.raw("filter_w", "null"),
+        };
+        o.bool("prev_capping", self.prev_capping);
+        match self.outage_remaining {
+            Some(d) => o.f64("outage_secs", d.as_seconds()),
+            None => o.raw("outage_secs", "null"),
+        };
+        o.bool("pending", self.pending.is_some());
+        let blank = PendingTransition {
+            observation: Observation {
+                slot: 0,
+                battery_soc: 0.0,
+                battery_stored: Energy::ZERO,
+                estimated_total: Power::ZERO,
+                inlet: Temperature::from_celsius(0.0),
+                capping: false,
+            },
+            action: AttackAction::Standby,
+            inlet: Temperature::from_celsius(0.0),
+            next_battery_soc: 0.0,
+            next_battery_stored: Energy::ZERO,
+        };
+        let p = self.pending.as_ref().unwrap_or(&blank);
+        o.u64("pend_slot", p.observation.slot);
+        o.f64("pend_soc", p.observation.battery_soc);
+        o.f64(
+            "pend_stored_kwh",
+            p.observation.battery_stored.as_kilowatt_hours(),
+        );
+        o.f64("pend_est_w", p.observation.estimated_total.as_watts());
+        o.f64("pend_obs_inlet_c", p.observation.inlet.as_celsius());
+        o.bool("pend_capping", p.observation.capping);
+        o.str("pend_action", action_name(p.action));
+        o.f64("pend_inlet_c", p.inlet.as_celsius());
+        o.f64("pend_next_soc", p.next_battery_soc);
+        o.f64(
+            "pend_next_stored_kwh",
+            p.next_battery_stored.as_kilowatt_hours(),
+        );
+        self.snapshot_metrics(&mut o);
+        self.snapshot_policy(&mut o);
+        o.finish()
+    }
+
+    fn snapshot_metrics(&self, o: &mut JsonObject) {
+        let m = &self.metrics;
+        o.u64("m_slots", m.slots);
+        o.u64("m_emergency_slots", m.emergency_slots);
+        o.u64("m_emergency_events", m.emergency_events);
+        o.u64("m_outage_events", m.outage_events);
+        o.u64("m_outage_slots", m.outage_slots);
+        o.u64("m_attack_slots", m.attack_slots);
+        o.f64("m_attack_energy_kwh", m.attack_energy.as_kilowatt_hours());
+        o.f64("m_delta_t_sum_c", m.delta_t_sum.as_celsius());
+        o.f64("m_degradation_sum", m.degradation_sum);
+        o.u64("m_degradation_slots", m.degradation_slots);
+        o.f64(
+            "m_metered_energy_kwh",
+            m.attacker_metered_energy.as_kilowatt_hours(),
+        );
+        o.f64(
+            "m_actual_energy_kwh",
+            m.attacker_actual_energy.as_kilowatt_hours(),
+        );
+        let mut hist = String::new();
+        push_json_u64_array(&mut hist, m.inlet_histogram.counts());
+        o.raw("m_hist", &hist);
+        o.u64("m_hist_under", m.inlet_histogram.underflow());
+        o.u64("m_hist_over", m.inlet_histogram.overflow());
+    }
+
+    fn snapshot_policy(&self, o: &mut JsonObject) {
+        let any = self.policy.as_any();
+        if let Some(p) = any.downcast_ref::<RandomPolicy>() {
+            let mut rng = String::new();
+            push_hex_array(&mut rng, &p.rng_state());
+            o.raw("p_rng", &rng);
+        } else if let Some(p) = any.downcast_ref::<OneShotPolicy>() {
+            o.bool("p_triggered", p.triggered());
+        } else if let Some(p) = any.downcast_ref::<ForesightedPolicy>() {
+            let mut rng = String::new();
+            push_hex_array(&mut rng, &p.rng_state());
+            o.raw("p_rng", &rng);
+            let (campaign, launch_w) = p.campaign_code();
+            o.u64("p_campaign", campaign);
+            o.f64("p_campaign_w", launch_w);
+            o.bool("p_learning", p.learning_enabled());
+            let (kind, table, post) = match p.learner() {
+                Learner::Batch(agent) => ("batch", agent.q_table(), Some(agent.post_values())),
+                Learner::Standard(agent) => ("standard", agent.table(), None),
+            };
+            o.str("p_learner", kind);
+            let mut buf = String::new();
+            push_json_f64_array(&mut buf, table.values());
+            o.raw("p_q_values", &buf);
+            buf.clear();
+            push_json_u64_array(&mut buf, table.visits());
+            o.raw("p_q_visits", &buf);
+            if let Some(v) = post {
+                buf.clear();
+                push_json_f64_array(&mut buf, v);
+                o.raw("p_post_values", &buf);
+            }
+        }
+        // Myopic carries no dynamic state.
+    }
+
+    /// Overwrites the dynamic state from a checkpoint line produced by
+    /// [`Simulation::snapshot_json`]. The receiver must have been built
+    /// from the same scenario (same configuration, policy kind, and seed);
+    /// subsequent stepping is then bit-identical to the run the checkpoint
+    /// was taken from.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON, a schema or policy mismatch, or
+    /// shape mismatches (Q-table or histogram sizes).
+    pub fn restore_from_json(&mut self, line: &str) -> Result<(), String> {
+        let f = Fields(parse_flat_object(line)?);
+        let schema = f.str("schema")?;
+        if schema != SNAPSHOT_SCHEMA {
+            return Err(format!(
+                "checkpoint schema {schema:?} (expected {SNAPSHOT_SCHEMA:?})"
+            ));
+        }
+        let policy = f.str("policy")?;
+        if policy != self.policy.name() {
+            return Err(format!(
+                "checkpoint policy {policy:?} does not match simulation policy {:?}",
+                self.policy.name()
+            ));
+        }
+        self.slot_index = f.u64("slot_index")?;
+        self.zone
+            .set_inlet(Temperature::from_celsius(f.f64("inlet_c")?));
+        let secs = Duration::from_seconds(f.f64("protocol_secs")?.max(0.0));
+        let state = match f.str("protocol")? {
+            "normal" => hbm_power::ProtocolState::Normal,
+            "watch" => hbm_power::ProtocolState::Watch {
+                over_threshold_for: secs,
+            },
+            "emergency" => hbm_power::ProtocolState::Emergency { remaining: secs },
+            "outage" => hbm_power::ProtocolState::Outage,
+            other => return Err(format!("unknown protocol state {other:?}")),
+        };
+        self.protocol.restore_state(state);
+        // Clamp into the (possibly perturbed) pack capacity; both the
+        // in-process perturb path and the crash-restore path apply the same
+        // clamp, so determinism is preserved.
+        let stored = Energy::from_kilowatt_hours(f.f64("battery_kwh")?.max(0.0));
+        self.battery
+            .set_stored(stored.min(self.battery.spec().capacity));
+        self.side_channel
+            .restore_noise_state(f.hex4("sc_rng")?, f.f64("sc_wander")?);
+        self.estimate_filter = f.opt_f64("filter_w")?.map(Power::from_watts);
+        self.prev_capping = f.bool("prev_capping")?;
+        self.outage_remaining = f.opt_f64("outage_secs")?.map(Duration::from_seconds);
+        self.pending = if f.bool("pending")? {
+            Some(PendingTransition {
+                observation: Observation {
+                    slot: f.u64("pend_slot")?,
+                    battery_soc: f.f64("pend_soc")?,
+                    battery_stored: Energy::from_kilowatt_hours(f.f64("pend_stored_kwh")?),
+                    estimated_total: Power::from_watts(f.f64("pend_est_w")?),
+                    inlet: Temperature::from_celsius(f.f64("pend_obs_inlet_c")?),
+                    capping: f.bool("pend_capping")?,
+                },
+                action: action_from_name(f.str("pend_action")?)?,
+                inlet: Temperature::from_celsius(f.f64("pend_inlet_c")?),
+                next_battery_soc: f.f64("pend_next_soc")?,
+                next_battery_stored: Energy::from_kilowatt_hours(f.f64("pend_next_stored_kwh")?),
+            })
+        } else {
+            None
+        };
+        self.restore_metrics(&f)?;
+        self.restore_policy(&f)
+    }
+
+    fn restore_metrics(&mut self, f: &Fields) -> Result<(), String> {
+        let mut m = Metrics::new(self.config.slot);
+        m.slots = f.u64("m_slots")?;
+        m.emergency_slots = f.u64("m_emergency_slots")?;
+        m.emergency_events = f.u64("m_emergency_events")?;
+        m.outage_events = f.u64("m_outage_events")?;
+        m.outage_slots = f.u64("m_outage_slots")?;
+        m.attack_slots = f.u64("m_attack_slots")?;
+        m.attack_energy = Energy::from_kilowatt_hours(f.f64("m_attack_energy_kwh")?);
+        m.delta_t_sum = hbm_units::TemperatureDelta::from_celsius(f.f64("m_delta_t_sum_c")?);
+        m.degradation_sum = f.f64("m_degradation_sum")?;
+        m.degradation_slots = f.u64("m_degradation_slots")?;
+        m.attacker_metered_energy = Energy::from_kilowatt_hours(f.f64("m_metered_energy_kwh")?);
+        m.attacker_actual_energy = Energy::from_kilowatt_hours(f.f64("m_actual_energy_kwh")?);
+        let counts = f.u64_array("m_hist")?;
+        if counts.len() != m.inlet_histogram.counts().len() {
+            return Err(format!(
+                "histogram shape mismatch: expected {} bins, got {}",
+                m.inlet_histogram.counts().len(),
+                counts.len()
+            ));
+        }
+        m.inlet_histogram
+            .set_counts(&counts, f.u64("m_hist_under")?, f.u64("m_hist_over")?);
+        self.metrics = m;
+        Ok(())
+    }
+
+    fn restore_policy(&mut self, f: &Fields) -> Result<(), String> {
+        let any = self.policy.as_any_mut();
+        if let Some(p) = any.downcast_mut::<RandomPolicy>() {
+            p.restore_rng(f.hex4("p_rng")?);
+        } else if let Some(p) = any.downcast_mut::<OneShotPolicy>() {
+            p.set_triggered(f.bool("p_triggered")?);
+        } else if let Some(p) = any.downcast_mut::<ForesightedPolicy>() {
+            p.restore_rng(f.hex4("p_rng")?);
+            p.restore_campaign(f.u64("p_campaign")?, f.f64("p_campaign_w")?)?;
+            p.set_learning(f.bool("p_learning")?);
+            let kind = f.str("p_learner")?;
+            let values = f.f64_array("p_q_values")?;
+            let visits = f.u64_array("p_q_visits")?;
+            match (kind, p.learner_mut()) {
+                ("batch", Learner::Batch(agent)) => {
+                    agent.q_table_mut().restore(&values, &visits)?;
+                    let post = f.f64_array("p_post_values")?;
+                    let slots = agent.post_values_mut();
+                    if post.len() != slots.len() {
+                        return Err(format!(
+                            "post-value shape mismatch: expected {} entries, got {}",
+                            slots.len(),
+                            post.len()
+                        ));
+                    }
+                    slots.copy_from_slice(&post);
+                }
+                ("standard", Learner::Standard(agent)) => {
+                    agent.table_mut().restore(&values, &visits)?;
+                }
+                (kind, _) => {
+                    return Err(format!(
+                        "checkpoint learner {kind:?} does not match the simulation's learner"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -8,6 +8,7 @@
 //! experiments simulate --policy NAME [--days N] [--warmup-days N] [--seed N]
 //!                      [--util F] [--attack-load-kw F] [--battery-kwh F]
 //!                      [--threshold-c F] [--cap-w F]
+//! experiments client [--addr HOST:PORT] <create|list|step|perturb|state|metrics|delete> ...
 //! ```
 //!
 //! Each experiment prints a summary table and writes the full data series
@@ -18,6 +19,10 @@
 //! [`hbm_core::scenario`] code path and prints one flat-JSON metrics line —
 //! byte-identical to the body `hbm-serve` returns for the same
 //! configuration (see `docs/SERVICE.md`).
+//!
+//! `client` drives a running `hbm-serve` daemon's sessionful experiment
+//! API over TCP — create, step, perturb, inspect, and delete long-lived
+//! experiments without writing HTTP by hand (see [`client`]).
 //!
 //! `--jobs N` runs independent experiments on up to `N` threads (0 = one
 //! per core); sweeps inside an experiment parallelize too, all drawing
@@ -32,6 +37,7 @@
 //! around the hot kernels and prints a report (`--timings-json FILE` also
 //! writes them as criterion-shaped JSON). See `docs/TELEMETRY.md`.
 
+mod client;
 mod common;
 mod figs_attack;
 mod figs_defense;
@@ -79,6 +85,7 @@ const EXPERIMENTS: &[(&str, Runner)] = &[
 fn usage() {
     eprintln!("usage: experiments <id>... | all   [--days N] [--warmup-days N] [--seed N] [--out DIR] [--jobs N] [--trace DIR] [--timings] [--timings-json FILE]");
     eprintln!("       experiments simulate --policy NAME [--days N] [--warmup-days N] [--seed N] [--util F] [--attack-load-kw F] [--battery-kwh F] [--threshold-c F] [--cap-w F]");
+    eprintln!("       experiments client [--addr HOST:PORT] <create|list|step|perturb|state|metrics|delete> ...");
     eprintln!("available experiments:");
     for (name, _) in EXPERIMENTS {
         eprintln!("  {name}");
@@ -144,6 +151,14 @@ fn main() {
         if let Err(e) = run_simulate(&opts, &ids[1..]) {
             eprintln!("error: {e}");
             usage();
+            std::process::exit(2);
+        }
+        return;
+    }
+    if ids[0] == "client" {
+        if let Err(e) = client::run_client(&opts, &ids[1..]) {
+            eprintln!("error: {e}");
+            eprintln!("{}", client::USAGE);
             std::process::exit(2);
         }
         return;

@@ -113,6 +113,12 @@ impl EmergencyProtocol {
         self.state = ProtocolState::Normal;
     }
 
+    /// Overwrites the current state (checkpoint restore; the inverse of
+    /// [`EmergencyProtocol::state`]).
+    pub fn restore_state(&mut self, state: ProtocolState) {
+        self.state = state;
+    }
+
     /// Advances the protocol by one slot given the inlet temperature
     /// observed during that slot; returns the new state.
     ///

@@ -147,6 +147,39 @@ impl QTable {
     pub fn fill(&mut self, v: f64) {
         self.values.fill(v);
     }
+
+    /// The full value table in row-major (`state × action`) order, for
+    /// checkpoint serialization.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The full visit-count table in row-major order, for checkpoint
+    /// serialization.
+    pub fn visits(&self) -> &[u64] {
+        &self.visits
+    }
+
+    /// Overwrites the values and visit counts from checkpointed row-major
+    /// slices (the inverse of [`QTable::values`] / [`QTable::visits`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if either slice length differs from
+    /// `states × actions`.
+    pub fn restore(&mut self, values: &[f64], visits: &[u64]) -> Result<(), String> {
+        let len = self.states * self.actions;
+        if values.len() != len || visits.len() != len {
+            return Err(format!(
+                "table shape mismatch: expected {len} entries, got {} values / {} visits",
+                values.len(),
+                visits.len()
+            ));
+        }
+        self.values.copy_from_slice(values);
+        self.visits.copy_from_slice(visits);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

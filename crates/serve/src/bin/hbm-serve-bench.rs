@@ -4,6 +4,7 @@
 //! hbm-serve-bench [--addr HOST:PORT] [--connections N] [--duration-secs S]
 //!                 [--policy NAME] [--days N] [--warmup-days N] [--seed N]
 //!                 [--distinct K] [--workers N] [--queue N] [--json FILE]
+//!                 [--session-slots N] [--state-dir DIR]
 //! ```
 //!
 //! Without `--addr` it boots an in-process server on an ephemeral port
@@ -15,6 +16,14 @@
 //! `BENCH_thermal.json` entry shape (`{name, median_ns, mean_ns, min_ns,
 //! samples}`), which `scripts/bench_summary.sh` folds into the pinned
 //! benchmark file.
+//!
+//! `--session-slots N` switches to the sessionful load pattern: each
+//! client creates a long-lived experiment and steps it `N` slots per
+//! request, recreating it (at a fresh seed) whenever the horizon runs
+//! out — the measured latency is the step round trip, and throughput is
+//! reported in simulated slots per second. Add `--state-dir DIR` to
+//! include per-step checkpointing in the measurement (the durable
+//! configuration `docs/OPERATIONS.md` recommends).
 
 use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
@@ -25,7 +34,8 @@ use std::time::{Duration, Instant};
 use hbm_serve::{ServeConfig, Server};
 
 const USAGE: &str = "usage: hbm-serve-bench [--addr HOST:PORT] [--connections N] [--duration-secs S] \
-[--policy NAME] [--days N] [--warmup-days N] [--seed N] [--distinct K] [--workers N] [--queue N] [--json FILE]
+[--policy NAME] [--days N] [--warmup-days N] [--seed N] [--distinct K] [--workers N] [--queue N] [--json FILE] \
+[--session-slots N] [--state-dir DIR]
   --addr HOST:PORT   target an already-running server (default: spawn one in-process)
   --connections N    concurrent closed-loop clients (default 4)
   --duration-secs S  measured duration after cache warm-up (default 5)
@@ -36,7 +46,9 @@ const USAGE: &str = "usage: hbm-serve-bench [--addr HOST:PORT] [--connections N]
   --distinct K       rotate over K distinct seeds (default 1 = fully cache-warm)
   --workers N        workers for the in-process server (default: cores - 1)
   --queue N          queue capacity for the in-process server (default 32)
-  --json FILE        write results as BENCH_thermal.json-shaped entries";
+  --json FILE        write results as BENCH_thermal.json-shaped entries
+  --session-slots N  sessionful mode: step a live experiment N slots per request
+  --state-dir DIR    in-process server checkpoints experiments under DIR";
 
 struct Args {
     addr: Option<String>,
@@ -50,6 +62,8 @@ struct Args {
     workers: usize,
     queue: usize,
     json: Option<String>,
+    session_slots: u64,
+    state_dir: Option<String>,
 }
 
 fn parse_args(raw: &[String]) -> Result<Args, String> {
@@ -68,6 +82,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         workers: cores.saturating_sub(1).max(1),
         queue: 32,
         json: None,
+        session_slots: 0,
+        state_dir: None,
     };
     let mut it = raw.iter();
     while let Some(arg) = it.next() {
@@ -96,6 +112,10 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             "--workers" => args.workers = parse("--workers", take("--workers")?)?.max(1) as usize,
             "--queue" => args.queue = parse("--queue", take("--queue")?)? as usize,
             "--json" => args.json = Some(take("--json")?),
+            "--session-slots" => {
+                args.session_slots = parse("--session-slots", take("--session-slots")?)?
+            }
+            "--state-dir" => args.state_dir = Some(take("--state-dir")?),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -146,6 +166,131 @@ fn get_request(path: &str) -> Vec<u8> {
     format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").into_bytes()
 }
 
+fn post_request(path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn delete_request(path: &str) -> Vec<u8> {
+    format!("DELETE {path} HTTP/1.1\r\nHost: bench\r\n\r\n").into_bytes()
+}
+
+/// Pulls a `"key":"value"` string out of a flat-JSON body.
+fn json_str(body: &str, key: &str) -> Option<String> {
+    let start = body.find(&format!("\"{key}\":\""))? + key.len() + 4;
+    body[start..].split('"').next().map(str::to_string)
+}
+
+/// Pulls a `"key":123` number out of a flat-JSON body.
+fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let start = body.find(&format!("\"{key}\":"))? + key.len() + 3;
+    let digits: String = body[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Everything one sessionful client thread needs: where to connect, the
+/// scenario to create, how to rotate seeds, and the shared counters.
+struct SessionClient {
+    addr: String,
+    policy: String,
+    days: u64,
+    warmup_days: u64,
+    first_seed: u64,
+    seed_stride: u64,
+    session_slots: u64,
+    deadline: Instant,
+    ok: Arc<AtomicU64>,
+    shed: Arc<AtomicU64>,
+    errors: Arc<AtomicU64>,
+    slots: Arc<AtomicU64>,
+}
+
+/// One sessionful closed loop: create an experiment, step it
+/// `session_slots` per request until it reaches the scenario horizon
+/// (`days` worth of slots), then retire it and start over at the next
+/// seed. Only step round trips are sampled — create/delete are lifecycle
+/// overhead, counted but not timed.
+fn session_client(client: &SessionClient) -> Vec<u64> {
+    let horizon = client.days * 24 * 60;
+    let create = |seed: u64| -> Option<String> {
+        let body = format!(
+            "{{\"policy\":\"{}\",\"days\":{},\"warmup_days\":{},\"seed\":{seed}}}",
+            client.policy, client.days, client.warmup_days
+        );
+        match roundtrip(&client.addr, &post_request("/v1/experiments", &body)) {
+            Ok((201, body)) => json_str(&body, "id"),
+            Ok((503, _)) => {
+                client.shed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(10));
+                None
+            }
+            Ok(_) | Err(_) => {
+                client.errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    };
+    let retire = |id: &str| {
+        let _ = roundtrip(
+            &client.addr,
+            &delete_request(&format!("/v1/experiments/{id}")),
+        );
+    };
+
+    let mut samples = Vec::new();
+    let mut seed = client.first_seed;
+    let mut live: Option<String> = None;
+    while Instant::now() < client.deadline {
+        let id = match &live {
+            Some(id) => id.clone(),
+            None => match create(seed) {
+                Some(id) => {
+                    seed += client.seed_stride;
+                    live = Some(id.clone());
+                    id
+                }
+                None => continue,
+            },
+        };
+        let step = post_request(
+            &format!("/v1/experiments/{id}/step"),
+            &format!("{{\"slots\":{}}}", client.session_slots),
+        );
+        let sent = Instant::now();
+        match roundtrip(&client.addr, &step) {
+            Ok((200, body)) => {
+                samples.push(sent.elapsed().as_nanos() as u64);
+                client.ok.fetch_add(1, Ordering::Relaxed);
+                let stepped = json_u64(&body, "stepped").unwrap_or(0);
+                client.slots.fetch_add(stepped, Ordering::Relaxed);
+                if json_u64(&body, "slots").unwrap_or(0) >= horizon {
+                    retire(&id);
+                    live = None;
+                }
+            }
+            Ok((503, _)) => {
+                client.shed.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Ok(_) | Err(_) => {
+                client.errors.fetch_add(1, Ordering::Relaxed);
+                retire(&id);
+                live = None;
+            }
+        }
+    }
+    if let Some(id) = live {
+        retire(&id);
+    }
+    samples
+}
+
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -189,6 +334,8 @@ fn main() {
                 workers: args.workers,
                 queue_capacity: args.queue,
                 cache_capacity: (args.distinct as usize).max(256),
+                state_dir: args.state_dir.as_ref().map(std::path::PathBuf::from),
+                max_experiments: (args.connections * 2).max(64),
                 ..ServeConfig::default()
             };
             let server = match Server::bind("127.0.0.1:0", config) {
@@ -208,8 +355,13 @@ fn main() {
 
     // Warm the cache: one sequential request per distinct scenario, so the
     // measured window reflects cache-warm serving (use --distinct > the
-    // cache capacity to measure cold-path throughput instead).
-    for k in 0..args.distinct {
+    // cache capacity to measure cold-path throughput instead). Sessionful
+    // runs skip this — experiments never touch the scenario cache.
+    for k in 0..if args.session_slots > 0 {
+        0
+    } else {
+        args.distinct
+    } {
         let request = simulate_request(&args.policy, args.days, args.warmup_days, args.seed + k);
         match roundtrip(&addr, &request) {
             Ok((200, _)) => {}
@@ -229,6 +381,7 @@ fn main() {
     let ok = Arc::new(AtomicU64::new(0));
     let shed = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
+    let slots = Arc::new(AtomicU64::new(0));
     let started = Instant::now();
     let deadline = started + args.duration;
     let latencies: Vec<u64> = {
@@ -236,32 +389,51 @@ fn main() {
             .map(|c| {
                 let addr = addr.clone();
                 let (ok, shed, errors) = (Arc::clone(&ok), Arc::clone(&shed), Arc::clone(&errors));
+                let slots = Arc::clone(&slots);
                 let (policy, days, warmup_days) =
                     (args.policy.clone(), args.days, args.warmup_days);
                 let (seed, distinct) = (args.seed, args.distinct);
+                let (connections, session_slots) = (args.connections as u64, args.session_slots);
                 std::thread::spawn(move || {
-                    let mut samples = Vec::new();
-                    let mut i = c as u64;
-                    while Instant::now() < deadline {
-                        let request =
-                            simulate_request(&policy, days, warmup_days, seed + i % distinct);
-                        i += 1;
-                        let sent = Instant::now();
-                        match roundtrip(&addr, &request) {
-                            Ok((200, _)) => {
-                                samples.push(sent.elapsed().as_nanos() as u64);
-                                ok.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Ok((503, _)) => {
-                                shed.fetch_add(1, Ordering::Relaxed);
-                                std::thread::sleep(Duration::from_millis(10));
-                            }
-                            Ok(_) | Err(_) => {
-                                errors.fetch_add(1, Ordering::Relaxed);
+                    if session_slots > 0 {
+                        session_client(&SessionClient {
+                            addr,
+                            policy,
+                            days,
+                            warmup_days,
+                            first_seed: seed + c as u64,
+                            seed_stride: connections,
+                            session_slots,
+                            deadline,
+                            ok,
+                            shed,
+                            errors,
+                            slots,
+                        })
+                    } else {
+                        let mut samples = Vec::new();
+                        let mut i = c as u64;
+                        while Instant::now() < deadline {
+                            let request =
+                                simulate_request(&policy, days, warmup_days, seed + i % distinct);
+                            i += 1;
+                            let sent = Instant::now();
+                            match roundtrip(&addr, &request) {
+                                Ok((200, _)) => {
+                                    samples.push(sent.elapsed().as_nanos() as u64);
+                                    ok.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Ok((503, _)) => {
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                    std::thread::sleep(Duration::from_millis(10));
+                                }
+                                Ok(_) | Err(_) => {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
                             }
                         }
+                        samples
                     }
-                    samples
                 })
             })
             .collect();
@@ -299,14 +471,39 @@ fn main() {
         percentile(&sorted, 0.99),
     );
     let rps = ok as f64 / elapsed.as_secs_f64();
+    let stepped_slots = slots.load(Ordering::Relaxed);
+    let slots_per_sec = stepped_slots as f64 / elapsed.as_secs_f64();
 
-    println!(
-        "hbm-serve-bench: {} connection(s) for {:.1?} against {addr} \
-         (policy {}, {} day(s), {} distinct scenario(s))",
-        args.connections, elapsed, args.policy, args.days, args.distinct
-    );
+    if args.session_slots > 0 {
+        println!(
+            "hbm-serve-bench: {} sessionful connection(s) for {:.1?} against {addr} \
+             (policy {}, {} day(s), {} slots/step{})",
+            args.connections,
+            elapsed,
+            args.policy,
+            args.days,
+            args.session_slots,
+            if args.state_dir.is_some() {
+                ", checkpointing"
+            } else {
+                ""
+            },
+        );
+    } else {
+        println!(
+            "hbm-serve-bench: {} connection(s) for {:.1?} against {addr} \
+             (policy {}, {} day(s), {} distinct scenario(s))",
+            args.connections, elapsed, args.policy, args.days, args.distinct
+        );
+    }
     println!("  requests: {ok} ok, {shed} shed (503), {errors} errors");
     println!("  throughput: {rps:.1} req/s");
+    if args.session_slots > 0 {
+        println!(
+            "  stepped: {stepped_slots} slots ({:.2}M slots/s aggregate)",
+            slots_per_sec / 1e6
+        );
+    }
     println!(
         "  latency: p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  max {:.3} ms",
         p50 as f64 / 1e6,
@@ -321,26 +518,53 @@ fn main() {
     if let Some(path) = &args.json {
         // `serve/throughput` encodes mean inter-completion time, so
         // requests-per-second is 1e9 / median_ns (the shape every other
-        // BENCH_thermal.json entry uses).
+        // BENCH_thermal.json entry uses). Sessionful runs report the step
+        // round trip and ns per simulated slot instead.
         let throughput_ns = if rps > 0.0 { (1e9 / rps) as u64 } else { 0 };
-        let json = format!(
-            "[{},\n{},\n{}]\n",
-            bench_entry(
-                "serve/simulate_latency",
-                p50,
-                mean,
-                sorted.first().copied().unwrap_or(0),
-                ok
-            ),
-            bench_entry("serve/simulate_latency_p99", p99, mean, p50, ok),
-            bench_entry(
-                "serve/throughput",
-                throughput_ns,
-                throughput_ns,
-                throughput_ns,
-                ok
-            ),
-        );
+        let json = if args.session_slots > 0 {
+            let slot_ns = if slots_per_sec > 0.0 {
+                (1e9 / slots_per_sec) as u64
+            } else {
+                0
+            };
+            format!(
+                "[{},\n{},\n{}]\n",
+                bench_entry(
+                    "serve/session_step_latency",
+                    p50,
+                    mean,
+                    sorted.first().copied().unwrap_or(0),
+                    ok
+                ),
+                bench_entry("serve/session_step_latency_p99", p99, mean, p50, ok),
+                bench_entry(
+                    "serve/session_slot_ns",
+                    slot_ns,
+                    slot_ns,
+                    slot_ns,
+                    stepped_slots
+                ),
+            )
+        } else {
+            format!(
+                "[{},\n{},\n{}]\n",
+                bench_entry(
+                    "serve/simulate_latency",
+                    p50,
+                    mean,
+                    sorted.first().copied().unwrap_or(0),
+                    ok
+                ),
+                bench_entry("serve/simulate_latency_p99", p99, mean, p50, ok),
+                bench_entry(
+                    "serve/throughput",
+                    throughput_ns,
+                    throughput_ns,
+                    throughput_ns,
+                    ok
+                ),
+            )
+        };
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(1);

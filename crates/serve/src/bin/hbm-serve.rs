@@ -2,24 +2,32 @@
 //!
 //! ```text
 //! hbm-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-//!           [--threads N] [--manifest-dir DIR] [--timings]
+//!           [--threads N] [--manifest-dir DIR] [--state-dir DIR]
+//!           [--max-experiments N] [--experiment-ttl SECS]
+//!           [--max-step-slots N] [--timings]
 //! ```
 //!
-//! Runs until killed. See `docs/SERVICE.md` for the endpoint reference.
+//! Runs until killed. See `docs/SERVICE.md` for the endpoint reference
+//! and `docs/OPERATIONS.md` for deployment and crash recovery.
 
 use std::path::PathBuf;
 
 use hbm_serve::{declare_spans, ServeConfig, Server};
 
 const USAGE: &str = "usage: hbm-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
-[--threads N] [--manifest-dir DIR] [--timings]
-  --addr HOST:PORT    listen address (default 127.0.0.1:7070)
-  --workers N         scenario worker threads (default: available cores - 1, min 1)
-  --queue N           bounded request queue capacity (default 32)
-  --cache N           scenario-result cache capacity (default 256)
-  --threads N         hbm-par process thread budget (default: available cores)
-  --manifest-dir DIR  write a RunManifest per computed scenario under DIR
-  --timings           enable kernel timing spans (reported via logs on exit)";
+[--threads N] [--manifest-dir DIR] [--state-dir DIR] [--max-experiments N] \
+[--experiment-ttl SECS] [--max-step-slots N] [--timings]
+  --addr HOST:PORT      listen address (default 127.0.0.1:7070)
+  --workers N           scenario worker threads (default: available cores - 1, min 1)
+  --queue N             bounded request queue capacity (default 32)
+  --cache N             scenario-result cache capacity (default 256)
+  --threads N           hbm-par process thread budget (default: available cores)
+  --manifest-dir DIR    write a RunManifest per computed scenario under DIR
+  --state-dir DIR       checkpoint experiments under DIR and restore them at boot
+  --max-experiments N   live-experiment capacity; creates beyond it answer 429 (default 64)
+  --experiment-ttl SECS evict experiments idle longer than SECS (default: never)
+  --max-step-slots N    largest slots one step request may ask for (default 1000000)
+  --timings             enable kernel timing spans (reported via logs on exit)";
 
 struct Args {
     addr: String,
@@ -72,6 +80,23 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             }
             "--manifest-dir" => {
                 args.config.manifest_dir = Some(PathBuf::from(take("--manifest-dir")?))
+            }
+            "--state-dir" => args.config.state_dir = Some(PathBuf::from(take("--state-dir")?)),
+            "--max-experiments" => {
+                args.config.max_experiments = take("--max-experiments")?
+                    .parse()
+                    .map_err(|e| format!("--max-experiments: {e}"))?
+            }
+            "--experiment-ttl" => {
+                let secs: u64 = take("--experiment-ttl")?
+                    .parse()
+                    .map_err(|e| format!("--experiment-ttl: {e}"))?;
+                args.config.experiment_ttl = Some(std::time::Duration::from_secs(secs));
+            }
+            "--max-step-slots" => {
+                args.config.max_step_slots = take("--max-step-slots")?
+                    .parse()
+                    .map_err(|e| format!("--max-step-slots: {e}"))?
             }
             "--timings" => args.timings = true,
             other => return Err(format!("unknown flag {other:?}")),

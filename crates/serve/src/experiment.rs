@@ -1,0 +1,597 @@
+//! The experiment supervisor: long-lived simulations behind the API.
+//!
+//! An *experiment* is a [`Simulation`] that outlives any one request:
+//! created (and warmed up) once, then stepped, perturbed, inspected, and
+//! eventually deleted. The [`Supervisor`] owns the table of live
+//! experiments; mutating operations (create/step/perturb/delete) run on
+//! the daemon's worker pool and serialize per experiment through its state
+//! mutex, while reads (`state`/`metrics`/list) answer inline on the accept
+//! thread from a small *published* snapshot refreshed after every mutation
+//! — a slow step can never stall a read or the accept loop.
+//!
+//! After every mutating operation the supervisor writes the experiment's
+//! manifest and checkpoint through [`ExperimentStore`] (when the daemon
+//! has a state dir), so a killed daemon restarts with
+//! [`Supervisor::recover`] and every experiment continues bit-identically
+//! — the contract proven by `crates/core/tests/checkpoint.rs` and the
+//! serve crate's kill-and-restore test.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use hbm_core::scenario::metrics_json;
+use hbm_core::{Perturbation, Scenario, Simulation};
+
+use crate::store::ExperimentStore;
+
+/// An API-level failure: the HTTP status to answer with and a message.
+pub type ApiError = (u16, String);
+
+/// Tuning for a [`Supervisor`], split out of `ServeConfig`.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Maximum live experiments; creates beyond this answer `429`.
+    pub max_experiments: usize,
+    /// Evict experiments idle longer than this (`None`: never).
+    pub ttl: Option<Duration>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_experiments: 64,
+            ttl: None,
+        }
+    }
+}
+
+/// The in-memory state of one experiment, guarded by its slot's mutex.
+struct ExperimentState {
+    scenario: Scenario,
+    sim: Simulation,
+    warmup_slots: u64,
+    steps: u64,
+    perturbs: u64,
+}
+
+/// What reads see without touching the simulation: refreshed after every
+/// mutating operation.
+struct Published {
+    snapshot: String,
+    metrics: String,
+    config_hash: String,
+    scenario_json: String,
+    slots: u64,
+    last_touched: Instant,
+}
+
+struct Slot {
+    id: String,
+    /// Set (under no lock) when the experiment is deleted or evicted;
+    /// queued operations that already resolved the slot check it before
+    /// persisting, so they can never resurrect a removed directory.
+    retired: AtomicBool,
+    state: Mutex<ExperimentState>,
+    published: Mutex<Published>,
+}
+
+struct Table {
+    entries: HashMap<String, Arc<Slot>>,
+    next_id: u64,
+}
+
+/// Owns every live experiment; see the module docs for the locking story.
+pub struct Supervisor {
+    store: Option<ExperimentStore>,
+    config: SupervisorConfig,
+    table: Mutex<Table>,
+}
+
+/// A successful create: the new id and how much warm-up ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CreateOutcome {
+    /// The new experiment id.
+    pub id: String,
+    /// Warm-up slots run before the experiment became steppable.
+    pub warmup_slots: u64,
+}
+
+/// A successful step: how far the experiment advanced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// The experiment id.
+    pub id: String,
+    /// Slots stepped by this operation.
+    pub stepped: u64,
+    /// Total measured slots so far.
+    pub slots: u64,
+}
+
+fn publish(state: &ExperimentState) -> Published {
+    Published {
+        snapshot: state.sim.snapshot_json(),
+        metrics: metrics_json(&state.scenario.config_canonical(), state.sim.metrics()),
+        config_hash: state.scenario.config_hash(),
+        scenario_json: state.scenario.to_flat_json(),
+        slots: state.sim.metrics().slots,
+        last_touched: Instant::now(),
+    }
+}
+
+impl Supervisor {
+    /// A supervisor persisting through `store` (`None`: memory only).
+    pub fn new(config: SupervisorConfig, store: Option<ExperimentStore>) -> Supervisor {
+        Supervisor {
+            store,
+            config,
+            table: Mutex::new(Table {
+                entries: HashMap::new(),
+                next_id: 1,
+            }),
+        }
+    }
+
+    /// Live experiment count (the `experiments_active` gauge).
+    pub fn active(&self) -> usize {
+        self.table.lock().unwrap().entries.len()
+    }
+
+    fn resolve(&self, id: &str) -> Result<Arc<Slot>, ApiError> {
+        self.table
+            .lock()
+            .unwrap()
+            .entries
+            .get(id)
+            .cloned()
+            .ok_or_else(|| (404, format!("no experiment {id:?}")))
+    }
+
+    /// Persists `slot`'s current published state, unless the experiment
+    /// was retired (deleted/evicted) meanwhile. Persistence failures are
+    /// warnings: the in-memory experiment stays authoritative.
+    fn save(&self, slot: &Slot, state: &ExperimentState, published: &Published) {
+        let Some(store) = &self.store else { return };
+        if slot.retired.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Err(e) = store.save(
+            &slot.id,
+            state.warmup_slots,
+            state.steps,
+            state.perturbs,
+            &published.scenario_json,
+            &published.snapshot,
+        ) {
+            eprintln!("warning: cannot checkpoint experiment {}: {e}", slot.id);
+        }
+    }
+
+    /// Creates an experiment: validates and builds the scenario, runs the
+    /// warm-up (for learning policies), registers the slot, and writes the
+    /// first checkpoint. Runs on a worker thread — warm-up can be long.
+    ///
+    /// # Errors
+    ///
+    /// `400` for an invalid scenario, `429` at the experiment capacity.
+    pub fn create(&self, scenario: Scenario) -> Result<CreateOutcome, ApiError> {
+        if self.active() >= self.config.max_experiments {
+            return Err((
+                429,
+                format!(
+                    "experiment capacity {} reached; delete one or raise --max-experiments",
+                    self.config.max_experiments
+                ),
+            ));
+        }
+        let (mut sim, needs_warmup) = scenario.build_sim().map_err(|e| (400, e))?;
+        let warmup_slots = if needs_warmup {
+            sim.warmup(scenario.warmup_slots());
+            scenario.warmup_slots()
+        } else {
+            0
+        };
+        let state = ExperimentState {
+            scenario,
+            sim,
+            warmup_slots,
+            steps: 0,
+            perturbs: 0,
+        };
+        let published = publish(&state);
+        let slot = {
+            let mut table = self.table.lock().unwrap();
+            if table.entries.len() >= self.config.max_experiments {
+                return Err((
+                    429,
+                    format!(
+                        "experiment capacity {} reached; delete one or raise --max-experiments",
+                        self.config.max_experiments
+                    ),
+                ));
+            }
+            let id = format!("exp-{:06}", table.next_id);
+            table.next_id += 1;
+            let slot = Arc::new(Slot {
+                id: id.clone(),
+                retired: AtomicBool::new(false),
+                state: Mutex::new(state),
+                published: Mutex::new(published),
+            });
+            table.entries.insert(id, Arc::clone(&slot));
+            slot
+        };
+        let state = slot.state.lock().unwrap();
+        let published = slot.published.lock().unwrap();
+        self.save(&slot, &state, &published);
+        Ok(CreateOutcome {
+            id: slot.id.clone(),
+            warmup_slots,
+        })
+    }
+
+    /// Steps an experiment `slots` measured slots and checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// `404` for an unknown id, `410` if it was deleted mid-flight.
+    pub fn step(&self, id: &str, slots: u64) -> Result<StepOutcome, ApiError> {
+        let slot = self.resolve(id)?;
+        let mut state = slot.state.lock().unwrap();
+        if slot.retired.load(Ordering::SeqCst) {
+            return Err((410, format!("experiment {id:?} was deleted")));
+        }
+        for _ in 0..slots {
+            state.sim.step();
+        }
+        state.steps += 1;
+        let published = publish(&state);
+        let outcome = StepOutcome {
+            id: slot.id.clone(),
+            stepped: slots,
+            slots: published.slots,
+        };
+        self.save(&slot, &state, &published);
+        *slot.published.lock().unwrap() = published;
+        Ok(outcome)
+    }
+
+    /// Applies a perturbation: rebuilds the simulation from the perturbed
+    /// (effective) scenario, transplants the dynamic state through a
+    /// checkpoint, and persists the new manifest — exactly the rebuild a
+    /// crash-restore performs, so perturbed experiments stay bit-exact
+    /// across restarts. Returns the effective scenario's flat JSON.
+    ///
+    /// # Errors
+    ///
+    /// `404`/`410` as for [`Supervisor::step`]; `400` if the perturbed
+    /// scenario is invalid; `500` if the state transplant fails.
+    pub fn perturb(&self, id: &str, perturbation: &Perturbation) -> Result<String, ApiError> {
+        let slot = self.resolve(id)?;
+        let mut state = slot.state.lock().unwrap();
+        if slot.retired.load(Ordering::SeqCst) {
+            return Err((410, format!("experiment {id:?} was deleted")));
+        }
+        let effective = perturbation.apply(&state.scenario);
+        let (mut sim, _) = effective.build_sim().map_err(|e| (400, e))?;
+        sim.restore_from_json(&state.sim.snapshot_json())
+            .map_err(|e| (500, format!("state transplant failed: {e}")))?;
+        state.sim = sim;
+        state.scenario = effective;
+        state.perturbs += 1;
+        let published = publish(&state);
+        let scenario_json = published.scenario_json.clone();
+        self.save(&slot, &state, &published);
+        *slot.published.lock().unwrap() = published;
+        Ok(scenario_json)
+    }
+
+    /// Deletes an experiment: unregisters it, waits for any in-flight
+    /// operation to drain, and removes its directory.
+    ///
+    /// # Errors
+    ///
+    /// `404` for an unknown id.
+    pub fn delete(&self, id: &str) -> Result<(), ApiError> {
+        let slot = {
+            let mut table = self.table.lock().unwrap();
+            table
+                .entries
+                .remove(id)
+                .ok_or_else(|| (404, format!("no experiment {id:?}")))?
+        };
+        slot.retired.store(true, Ordering::SeqCst);
+        let _drain = slot.state.lock().unwrap();
+        if let Some(store) = &self.store {
+            if let Err(e) = store.remove(&slot.id) {
+                eprintln!("warning: cannot remove experiment {}: {e}", slot.id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Evicts every experiment idle longer than the TTL, returning how
+    /// many went. Busy experiments are never evicted (stepping counts as
+    /// touching). No-op without a TTL.
+    pub fn sweep(&self) -> u64 {
+        let Some(ttl) = self.config.ttl else { return 0 };
+        let expired: Vec<Arc<Slot>> = {
+            let mut table = self.table.lock().unwrap();
+            let ids: Vec<String> = table
+                .entries
+                .values()
+                .filter(|slot| slot.published.lock().unwrap().last_touched.elapsed() > ttl)
+                .map(|slot| slot.id.clone())
+                .collect();
+            ids.iter()
+                .filter_map(|id| table.entries.remove(id))
+                .collect()
+        };
+        let evicted = expired.len() as u64;
+        for slot in expired {
+            slot.retired.store(true, Ordering::SeqCst);
+            let _drain = slot.state.lock().unwrap();
+            if let Some(store) = &self.store {
+                let _ = store.remove(&slot.id);
+            }
+        }
+        evicted
+    }
+
+    /// `(id, measured slots)` rows for every live experiment, id-sorted.
+    pub fn list(&self) -> Vec<(String, u64)> {
+        let slots: Vec<Arc<Slot>> = self
+            .table
+            .lock()
+            .unwrap()
+            .entries
+            .values()
+            .cloned()
+            .collect();
+        let mut rows: Vec<(String, u64)> = slots
+            .iter()
+            .map(|slot| (slot.id.clone(), slot.published.lock().unwrap().slots))
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// The latest checkpoint line (refreshes the idle clock).
+    ///
+    /// # Errors
+    ///
+    /// `404` for an unknown id.
+    pub fn state_of(&self, id: &str) -> Result<String, ApiError> {
+        let slot = self.resolve(id)?;
+        let mut published = slot.published.lock().unwrap();
+        published.last_touched = Instant::now();
+        Ok(published.snapshot.clone())
+    }
+
+    /// The metrics line for the effective scenario — the same
+    /// `metrics_json` bytes `/v1/simulate` would return for it — plus the
+    /// effective config hash (refreshes the idle clock).
+    ///
+    /// # Errors
+    ///
+    /// `404` for an unknown id.
+    pub fn metrics_of(&self, id: &str) -> Result<(String, String), ApiError> {
+        let slot = self.resolve(id)?;
+        let mut published = slot.published.lock().unwrap();
+        published.last_touched = Instant::now();
+        Ok((published.metrics.clone(), published.config_hash.clone()))
+    }
+
+    /// Restores every persisted experiment from the store: rebuild from
+    /// the effective scenario, overwrite the dynamic state from the
+    /// checkpoint — bit-identical continuation. Returns how many restored;
+    /// corrupt entries are skipped with a warning. Call before serving.
+    pub fn recover(&self) -> u64 {
+        let Some(store) = &self.store else { return 0 };
+        let mut restored = 0;
+        for p in store.load_all() {
+            match Self::rebuild(&p.scenario_json, &p.snapshot) {
+                Ok((scenario, sim)) => {
+                    let state = ExperimentState {
+                        scenario,
+                        sim,
+                        warmup_slots: p.warmup_slots,
+                        steps: p.steps,
+                        perturbs: p.perturbs,
+                    };
+                    let published = publish(&state);
+                    let mut table = self.table.lock().unwrap();
+                    if let Some(n) =
+                        p.id.strip_prefix("exp-")
+                            .and_then(|s| s.parse::<u64>().ok())
+                    {
+                        table.next_id = table.next_id.max(n + 1);
+                    }
+                    table.entries.insert(
+                        p.id.clone(),
+                        Arc::new(Slot {
+                            id: p.id,
+                            retired: AtomicBool::new(false),
+                            state: Mutex::new(state),
+                            published: Mutex::new(published),
+                        }),
+                    );
+                    restored += 1;
+                }
+                Err(e) => eprintln!("warning: cannot restore experiment {:?}: {e}", p.id),
+            }
+        }
+        restored
+    }
+
+    fn rebuild(scenario_json: &str, snapshot: &str) -> Result<(Scenario, Simulation), String> {
+        let scenario = Scenario::from_flat_json(scenario_json)?;
+        let (mut sim, _) = scenario.build_sim()?;
+        sim.restore_from_json(snapshot)?;
+        Ok((scenario, sim))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scenario() -> Scenario {
+        let mut s = Scenario::new("myopic");
+        s.days = 2;
+        s.warmup_days = 0;
+        s.seed = 5;
+        s
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hbm_sup_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_step_metrics_delete_lifecycle() {
+        let sup = Supervisor::new(SupervisorConfig::default(), None);
+        let created = sup.create(scenario()).unwrap();
+        assert_eq!(created.id, "exp-000001");
+        assert_eq!(created.warmup_slots, 0);
+        assert_eq!(sup.active(), 1);
+
+        let out = sup.step(&created.id, 100).unwrap();
+        assert_eq!((out.stepped, out.slots), (100, 100));
+        let (metrics, hash) = sup.metrics_of(&created.id).unwrap();
+        assert!(metrics.contains("\"slots\":100"), "got {metrics}");
+        assert_eq!(hash, scenario().config_hash());
+        assert_eq!(sup.list(), vec![(created.id.clone(), 100)]);
+
+        sup.delete(&created.id).unwrap();
+        assert_eq!(sup.active(), 0);
+        assert_eq!(sup.step(&created.id, 1).unwrap_err().0, 404);
+        assert_eq!(sup.delete(&created.id).unwrap_err().0, 404);
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_429() {
+        let sup = Supervisor::new(
+            SupervisorConfig {
+                max_experiments: 1,
+                ttl: None,
+            },
+            None,
+        );
+        sup.create(scenario()).unwrap();
+        assert_eq!(sup.create(scenario()).unwrap_err().0, 429);
+    }
+
+    #[test]
+    fn stepped_experiment_matches_one_shot_scenario_run() {
+        // Stepping to the full horizon must equal Scenario::run exactly.
+        let sup = Supervisor::new(SupervisorConfig::default(), None);
+        let s = scenario();
+        let expected = metrics_json(&s.config_canonical(), &s.run().unwrap().metrics);
+        let created = sup.create(s.clone()).unwrap();
+        sup.step(&created.id, 1000).unwrap();
+        sup.step(&created.id, s.slots() - 1000).unwrap();
+        let (metrics, _) = sup.metrics_of(&created.id).unwrap();
+        assert_eq!(metrics, expected);
+    }
+
+    #[test]
+    fn recover_continues_bit_identically() {
+        let dir = temp_dir("recover");
+        let s = scenario();
+        let expected = metrics_json(&s.config_canonical(), &s.run().unwrap().metrics);
+
+        let sup = Supervisor::new(
+            SupervisorConfig::default(),
+            Some(ExperimentStore::open(&dir).unwrap()),
+        );
+        let created = sup.create(s.clone()).unwrap();
+        sup.step(&created.id, 700).unwrap();
+        drop(sup); // "kill" the daemon
+
+        let sup = Supervisor::new(
+            SupervisorConfig::default(),
+            Some(ExperimentStore::open(&dir).unwrap()),
+        );
+        assert_eq!(sup.recover(), 1);
+        assert_eq!(sup.list(), vec![(created.id.clone(), 700)]);
+        sup.step(&created.id, s.slots() - 700).unwrap();
+        let (metrics, _) = sup.metrics_of(&created.id).unwrap();
+        assert_eq!(metrics, expected);
+
+        // Ids keep counting past recovered ones.
+        assert_eq!(sup.create(s).unwrap().id, "exp-000002");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn perturb_is_durable_and_bit_exact_across_recovery() {
+        let dir = temp_dir("perturb");
+        let sup = Supervisor::new(
+            SupervisorConfig::default(),
+            Some(ExperimentStore::open(&dir).unwrap()),
+        );
+        let created = sup.create(scenario()).unwrap();
+        sup.step(&created.id, 500).unwrap();
+        let perturbation = Perturbation {
+            threshold_c: Some(30.5),
+            ..Perturbation::default()
+        };
+        let effective = sup.perturb(&created.id, &perturbation).unwrap();
+        assert!(
+            effective.contains("\"threshold_c\":30.5"),
+            "got {effective}"
+        );
+        sup.step(&created.id, 300).unwrap();
+        let (reference, _) = sup.metrics_of(&created.id).unwrap();
+        let snapshot = sup.state_of(&created.id).unwrap();
+        drop(sup);
+
+        let sup = Supervisor::new(
+            SupervisorConfig::default(),
+            Some(ExperimentStore::open(&dir).unwrap()),
+        );
+        assert_eq!(sup.recover(), 1);
+        assert_eq!(sup.state_of(&created.id).unwrap(), snapshot);
+        assert_eq!(sup.metrics_of(&created.id).unwrap().0, reference);
+
+        // An invalid perturbation is rejected without corrupting state.
+        let bad = Perturbation {
+            utilization: Some(2.0),
+            ..Perturbation::default()
+        };
+        assert_eq!(sup.perturb(&created.id, &bad).unwrap_err().0, 400);
+        assert_eq!(sup.state_of(&created.id).unwrap(), snapshot);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sweep_evicts_only_idle_experiments() {
+        let sup = Supervisor::new(
+            SupervisorConfig {
+                max_experiments: 8,
+                ttl: Some(Duration::from_secs(0)),
+            },
+            None,
+        );
+        sup.create(scenario()).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(sup.sweep(), 1);
+        assert_eq!(sup.active(), 0);
+
+        let sup = Supervisor::new(
+            SupervisorConfig {
+                max_experiments: 8,
+                ttl: Some(Duration::from_secs(3600)),
+            },
+            None,
+        );
+        sup.create(scenario()).unwrap();
+        assert_eq!(sup.sweep(), 0);
+        assert_eq!(sup.active(), 1);
+    }
+}

@@ -10,12 +10,31 @@
 //!
 //! # Endpoints
 //!
+//! Routing is table-driven ([`routes::ROUTES`] is the single source of
+//! truth; a wrong method answers `405` with an `Allow` header). One-shot
+//! evaluation:
+//!
 //! * `POST /v1/simulate` — a flat-JSON [`hbm_core::Scenario`] body;
 //!   responds with the same metrics JSON line the CLI's `simulate`
 //!   subcommand prints (byte-identical for the same canonical config).
-//! * `GET /v1/health` — liveness and the effective pool/queue sizes.
-//! * `GET /v1/metrics` — flat-JSON counters: requests, cache hits/misses,
-//!   queue depth, worker utilization.
+//! * `POST /v1/batch-simulate` — a scenario template plus `count`,
+//!   answered by the batch engine, site-for-site cache-compatible with
+//!   single simulates.
+//! * `GET /v1/health`, `GET /v1/metrics` — liveness and flat-JSON
+//!   counters.
+//!
+//! Sessionful experiments (the [`experiment::Supervisor`]):
+//!
+//! * `POST /v1/experiments` creates a long-lived experiment (warming up
+//!   learning policies once), then `POST /v1/experiments/{id}/step`
+//!   advances it, `POST …/perturb` applies mid-run workload/attack/defense
+//!   overrides, `GET …/state` and `GET …/metrics` inspect it, and
+//!   `DELETE /v1/experiments/{id}` retires it.
+//!
+//! With a `--state-dir`, every mutating operation checkpoints the
+//! experiment (manifest + `hbm-checkpoint-v1` line, [`store`]) and a
+//! restarted daemon restores all of them bit-exactly — a stepped-after-
+//! restore experiment is byte-identical to one that never crashed.
 //!
 //! # Backpressure
 //!
@@ -25,18 +44,25 @@
 //! Results are memoized in a bounded [`cache::ScenarioCache`] keyed by the
 //! canonical config string, and every computed run can write a
 //! `RunManifest`, so served runs stay as traceable as CLI runs.
+//! Experiment mutations share the same queue and worker pool; experiment
+//! reads answer inline from published snapshots and never wait on a
+//! running step.
 //!
-//! See `docs/SERVICE.md` for the full endpoint reference and
+//! See `docs/SERVICE.md` for the full endpoint reference,
+//! `docs/OPERATIONS.md` for deployment and crash recovery, and
 //! `hbm-serve-bench` for the bundled load generator.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod experiment;
 pub mod http;
 pub mod metrics;
 pub mod queue;
+pub mod routes;
 mod server;
+pub mod store;
 
 pub use server::{declare_spans, ServeConfig, Server, ServerHandle};
 

@@ -18,6 +18,20 @@ pub struct ServeMetrics {
     pub simulate_ok: AtomicU64,
     /// Workers currently running a scenario.
     pub workers_busy: AtomicU64,
+    /// Experiments created (`POST /v1/experiments` answered `201`).
+    pub experiments_created: AtomicU64,
+    /// Experiments restored from the state dir at boot.
+    pub experiments_restored: AtomicU64,
+    /// Experiments deleted by request.
+    pub experiments_deleted: AtomicU64,
+    /// Experiments evicted by the idle TTL.
+    pub experiments_evicted: AtomicU64,
+    /// Completed step operations.
+    pub experiment_steps: AtomicU64,
+    /// Total slots advanced across all step operations.
+    pub experiment_slots: AtomicU64,
+    /// Applied perturbations.
+    pub experiment_perturbs: AtomicU64,
 }
 
 impl ServeMetrics {

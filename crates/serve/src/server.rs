@@ -1,4 +1,11 @@
 //! The daemon: accept loop, routing, worker pool, and shutdown.
+//!
+//! Requests route through the declarative table in [`crate::routes`].
+//! Fast endpoints (health, metrics, experiment reads) answer inline on
+//! the accept thread; everything that runs or mutates a simulation —
+//! one-shot scenarios, batches, and the experiment lifecycle — is
+//! validated up front and parked in the bounded queue for the worker
+//! pool, so the accept loop never blocks on simulation work.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -8,14 +15,17 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hbm_core::scenario::{metrics_json, run_scenarios_batch, BatchScenario};
-use hbm_core::Scenario;
+use hbm_core::{Perturbation, Scenario};
 use hbm_telemetry::json::JsonObject;
 use hbm_telemetry::{timing, RunManifest};
 
 use crate::cache::ScenarioCache;
+use crate::experiment::{Supervisor, SupervisorConfig};
 use crate::http::{self, HttpError, Request};
 use crate::metrics::{BusyGuard, ServeMetrics};
 use crate::queue::BoundedQueue;
+use crate::routes::{self, RouteMatch};
+use crate::store::ExperimentStore;
 
 /// Tuning knobs of one [`Server`].
 #[derive(Debug, Clone)]
@@ -23,7 +33,9 @@ pub struct ServeConfig {
     /// Worker threads running scenarios (≥ 1). The pool reserves this
     /// many threads from `hbm-par`'s process-wide budget for its whole
     /// lifetime, so parallel kernels inside scenario runs degrade to
-    /// sequential instead of oversubscribing the machine.
+    /// sequential instead of oversubscribing the machine. Experiment
+    /// operations run on the same pool, so the experiment supervisor is
+    /// accounted against the same budget.
     pub workers: usize,
     /// Maximum queued (accepted but not yet running) simulation requests;
     /// beyond this the server sheds load with `503` + `Retry-After`.
@@ -42,6 +54,18 @@ pub struct ServeConfig {
     /// `RunManifest` to `<dir>/<config_hash>/manifest.json`, making served
     /// runs as auditable as CLI runs.
     pub manifest_dir: Option<PathBuf>,
+    /// When set, experiments checkpoint under `<dir>/experiments/<id>/`
+    /// after every mutating operation and are restored at boot, so they
+    /// survive daemon restarts. `None`: experiments are memory-only.
+    pub state_dir: Option<PathBuf>,
+    /// Maximum live experiments; creates beyond this answer `429`.
+    pub max_experiments: usize,
+    /// Evict experiments idle longer than this (`None`: never). Eviction
+    /// is lazy: swept when experiment requests arrive.
+    pub experiment_ttl: Option<Duration>,
+    /// Largest `slots` one step request may ask for; larger requests are
+    /// rejected with `413` so a single op cannot pin a worker for long.
+    pub max_step_slots: u64,
 }
 
 impl Default for ServeConfig {
@@ -54,19 +78,42 @@ impl Default for ServeConfig {
             retry_after_secs: 1,
             io_timeout: Duration::from_secs(10),
             manifest_dir: None,
+            state_dir: None,
+            max_experiments: 64,
+            experiment_ttl: None,
+            max_step_slots: 1_000_000,
         }
     }
 }
 
-/// One accepted simulation request, parked in the queue until a worker
-/// picks it up and writes the response.
+/// What a queued job asks a worker to do. Every variant was fully
+/// validated on the accept thread; workers only see well-formed work.
+enum JobKind {
+    /// Run (or serve from cache) one scenario.
+    Simulate {
+        scenario: Scenario,
+        canonical: String,
+    },
+    /// Run a seed-staggered batch (`scenario` is the site-0 template).
+    Batch { scenario: Scenario, count: u64 },
+    /// Create an experiment (runs warm-up, writes the first checkpoint).
+    ExperimentCreate { scenario: Scenario },
+    /// Step an experiment by `slots`.
+    ExperimentStep { id: String, slots: u64 },
+    /// Apply a mid-run perturbation to an experiment.
+    ExperimentPerturb {
+        id: String,
+        perturbation: Perturbation,
+    },
+    /// Delete an experiment and its on-disk state.
+    ExperimentDelete { id: String },
+}
+
+/// One accepted request, parked in the queue until a worker picks it up
+/// and writes the response.
 struct Job {
-    scenario: Scenario,
-    canonical: String,
+    kind: JobKind,
     stream: TcpStream,
-    /// `Some(count)` for a `/v1/batch-simulate` job (`scenario` is then the
-    /// site-0 template), `None` for a single `/v1/simulate`.
-    batch: Option<u64>,
 }
 
 struct Shared {
@@ -74,6 +121,7 @@ struct Shared {
     queue: BoundedQueue<Job>,
     cache: ScenarioCache,
     metrics: ServeMetrics,
+    supervisor: Supervisor,
     stopping: AtomicBool,
 }
 
@@ -115,20 +163,34 @@ pub fn declare_spans() {
     timing::declare_span("serve.request");
     timing::declare_span("serve.simulate");
     timing::declare_span("serve.batch-simulate");
+    timing::declare_span("serve.experiment");
 }
 
 impl Server {
-    /// Binds the listener (use port 0 for an ephemeral port).
+    /// Binds the listener (use port 0 for an ephemeral port) and opens
+    /// the experiment store when a state dir is configured.
     ///
     /// # Errors
     ///
-    /// Returns the underlying bind error.
+    /// Returns the underlying bind or state-dir creation error.
     pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let store = match &config.state_dir {
+            Some(dir) => Some(ExperimentStore::open(dir)?),
+            None => None,
+        };
+        let supervisor = Supervisor::new(
+            SupervisorConfig {
+                max_experiments: config.max_experiments,
+                ttl: config.experiment_ttl,
+            },
+            store,
+        );
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             cache: ScenarioCache::new(config.cache_capacity),
             metrics: ServeMetrics::default(),
+            supervisor,
             stopping: AtomicBool::new(false),
             config,
         });
@@ -148,13 +210,18 @@ impl Server {
         }
     }
 
-    /// Runs the accept loop until [`ServerHandle::stop`] is called,
-    /// spawning the worker pool first and joining it before returning.
+    /// Runs the accept loop until [`ServerHandle::stop`] is called:
+    /// recovers persisted experiments first, then spawns the worker pool,
+    /// and joins it before returning.
     ///
     /// # Errors
     ///
     /// Returns a fatal listener error (per-connection errors are absorbed).
     pub fn run(self) -> std::io::Result<()> {
+        let restored = self.shared.supervisor.recover();
+        for _ in 0..restored {
+            ServeMetrics::bump(&self.shared.metrics.experiments_restored);
+        }
         let workers = self.shared.config.workers.max(1);
         // Account the pool against the process-wide thread budget for the
         // server's whole lifetime (see ServeConfig::workers).
@@ -186,9 +253,10 @@ impl Server {
     }
 }
 
-/// Parses one request off `stream` and routes it. Fast endpoints answer
-/// inline on the accept thread; `/v1/simulate` is validated here and then
-/// queued (or shed) — the worker writes that response.
+/// Parses one request off `stream` and routes it through the route table.
+/// Fast endpoints answer inline on the accept thread; simulation and
+/// experiment mutations are validated here and then queued (or shed) —
+/// the worker writes those responses.
 fn handle_connection(shared: &Shared, stream: TcpStream, workers: usize) {
     let span = timing::start();
     let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
@@ -210,68 +278,109 @@ fn handle_connection(shared: &Shared, stream: TcpStream, workers: usize) {
     ServeMetrics::bump(&shared.metrics.requests_total);
     let mut stream = reader.into_inner();
 
-    let respond = |stream: &mut TcpStream, status: u16, body: &[u8]| {
-        let _ = http::write_response(stream, status, &[], body);
-    };
-    match (request.method.as_str(), request.target.as_str()) {
-        ("GET", "/v1/health") => respond(&mut stream, 200, &health_body(shared, workers)),
-        ("GET", "/v1/metrics") => respond(&mut stream, 200, &metrics_body(shared, workers)),
-        ("POST", "/v1/simulate") => {
-            simulate(shared, request, stream);
-        }
-        ("POST", "/v1/batch-simulate") => {
-            batch_simulate(shared, request, stream);
-        }
-        ("GET" | "POST", "/v1/simulate" | "/v1/batch-simulate" | "/v1/health" | "/v1/metrics") => {
+    match routes::route(&request.method, &request.target) {
+        RouteMatch::NotFound => {
             ServeMetrics::bump(&shared.metrics.bad_requests);
-            respond(&mut stream, 405, &http::error_body("method not allowed"));
+            let body = http::error_body(&format!("no such endpoint {:?}", request.target));
+            let _ = http::write_response(&mut stream, 404, &[], &body);
         }
-        (_, target) => {
+        RouteMatch::MethodNotAllowed { allow } => {
             ServeMetrics::bump(&shared.metrics.bad_requests);
-            respond(
-                &mut stream,
-                404,
-                &http::error_body(&format!("no such endpoint {target:?}")),
-            );
+            let body = http::error_body(&format!(
+                "{} is not allowed on {} (allowed: {allow})",
+                request.method, request.target
+            ));
+            let _ = http::write_response(&mut stream, 405, &[("Allow", allow)], &body);
+        }
+        RouteMatch::Ok { pattern, id } => {
+            let id = id.map(str::to_string);
+            dispatch(shared, pattern, id, request, stream, workers);
         }
     }
     timing::record_span("serve.request", span);
 }
 
-/// Validates a `/v1/simulate` body and enqueues the job, shedding with
-/// `503` when the queue is full.
-fn simulate(shared: &Shared, request: Request, mut stream: TcpStream) {
-    let parsed = std::str::from_utf8(&request.body)
-        .map_err(|_| "body is not valid UTF-8".to_string())
-        .and_then(|body| Scenario::from_flat_json(body.trim()))
-        // Full validation up front: workers should only ever see
-        // runnable scenarios, and bad requests must fail fast.
-        .and_then(|scenario| scenario.build_config().map(|_| scenario))
-        .and_then(|scenario| {
-            if hbm_core::scenario::POLICY_NAMES.contains(&scenario.policy.as_str()) {
-                Ok(scenario)
-            } else {
-                Err(format!(
-                    "unknown policy {:?} (expected one of {})",
-                    scenario.policy,
-                    hbm_core::scenario::POLICY_NAMES.join(", ")
-                ))
-            }
-        });
-    let scenario = match parsed {
-        Ok(scenario) => scenario,
-        Err(message) => {
-            ServeMetrics::bump(&shared.metrics.bad_requests);
-            let _ = http::write_response(&mut stream, 400, &[], &http::error_body(&message));
-            return;
+/// Serves one route-matched request (see [`handle_connection`]).
+fn dispatch(
+    shared: &Shared,
+    pattern: &'static str,
+    id: Option<String>,
+    request: Request,
+    mut stream: TcpStream,
+    workers: usize,
+) {
+    let respond = |stream: &mut TcpStream, status: u16, body: &[u8]| {
+        let _ = http::write_response(stream, status, &[], body);
+    };
+    match (request.method.as_str(), pattern) {
+        ("GET", "/v1/health") => respond(&mut stream, 200, &health_body(shared, workers)),
+        ("GET", "/v1/metrics") => respond(&mut stream, 200, &metrics_body(shared, workers)),
+        ("POST", "/v1/simulate") => simulate(shared, request, stream),
+        ("POST", "/v1/batch-simulate") => batch_simulate(shared, request, stream),
+        ("GET", "/v1/experiments") => {
+            sweep_experiments(shared);
+            respond(&mut stream, 200, &experiment_list_body(shared));
         }
-    };
-    let job = Job {
-        canonical: scenario.config_canonical(),
-        scenario,
-        stream,
-        batch: None,
-    };
+        ("POST", "/v1/experiments") => experiment_create(shared, request, stream),
+        ("DELETE", "/v1/experiments/{id}") => enqueue(
+            shared,
+            JobKind::ExperimentDelete {
+                id: id.expect("route binds id"),
+            },
+            stream,
+        ),
+        ("POST", "/v1/experiments/{id}/step") => {
+            experiment_step(shared, id.expect("route binds id"), request, stream)
+        }
+        ("POST", "/v1/experiments/{id}/perturb") => {
+            experiment_perturb(shared, id.expect("route binds id"), request, stream)
+        }
+        ("GET", "/v1/experiments/{id}/state") => {
+            sweep_experiments(shared);
+            match shared.supervisor.state_of(&id.expect("route binds id")) {
+                Ok(snapshot) => respond(&mut stream, 200, format!("{snapshot}\n").as_bytes()),
+                Err(e) => respond_api_error(shared, &mut stream, e),
+            }
+        }
+        ("GET", "/v1/experiments/{id}/metrics") => {
+            sweep_experiments(shared);
+            match shared.supervisor.metrics_of(&id.expect("route binds id")) {
+                Ok((metrics, hash)) => {
+                    let extra = [("X-Config-Hash", hash)];
+                    let _ = http::write_response(
+                        &mut stream,
+                        200,
+                        &extra,
+                        format!("{metrics}\n").as_bytes(),
+                    );
+                }
+                Err(e) => respond_api_error(shared, &mut stream, e),
+            }
+        }
+        // The route table only yields (method, pattern) pairs listed in
+        // ROUTES; anything else here is a routing bug.
+        (method, pattern) => unreachable!("unrouted {method} {pattern}"),
+    }
+}
+
+/// Writes a supervisor error, counting 4xx as bad requests.
+fn respond_api_error(shared: &Shared, stream: &mut TcpStream, (status, message): (u16, String)) {
+    if (400..500).contains(&status) {
+        ServeMetrics::bump(&shared.metrics.bad_requests);
+    }
+    let _ = http::write_response(stream, status, &[], &http::error_body(&message));
+}
+
+/// Evicts idle experiments per the TTL, counting them.
+fn sweep_experiments(shared: &Shared) {
+    for _ in 0..shared.supervisor.sweep() {
+        ServeMetrics::bump(&shared.metrics.experiments_evicted);
+    }
+}
+
+/// Queues a validated job, shedding with `503` when the queue is full.
+fn enqueue(shared: &Shared, kind: JobKind, stream: TcpStream) {
+    let job = Job { kind, stream };
     match shared.queue.try_push(job) {
         Ok(()) => ServeMetrics::bump(&shared.metrics.simulate_accepted),
         Err(mut job) => {
@@ -286,10 +395,48 @@ fn simulate(shared: &Shared, request: Request, mut stream: TcpStream) {
     }
 }
 
+/// Parses a scenario body and validates it end to end (config build plus
+/// policy name), so workers only ever see runnable scenarios.
+fn parse_scenario(body: &[u8]) -> Result<Scenario, String> {
+    std::str::from_utf8(body)
+        .map_err(|_| "body is not valid UTF-8".to_string())
+        .and_then(|body| Scenario::from_flat_json(body.trim()))
+        .and_then(|scenario| scenario.build_config().map(|_| scenario))
+        .and_then(|scenario| {
+            if hbm_core::scenario::POLICY_NAMES.contains(&scenario.policy.as_str()) {
+                Ok(scenario)
+            } else {
+                Err(format!(
+                    "unknown policy {:?} (expected one of {})",
+                    scenario.policy,
+                    hbm_core::scenario::POLICY_NAMES.join(", ")
+                ))
+            }
+        })
+}
+
+/// Validates a `/v1/simulate` body and enqueues the job.
+fn simulate(shared: &Shared, request: Request, mut stream: TcpStream) {
+    match parse_scenario(&request.body) {
+        Ok(scenario) => enqueue(
+            shared,
+            JobKind::Simulate {
+                canonical: scenario.config_canonical(),
+                scenario,
+            },
+            stream,
+        ),
+        Err(message) => {
+            ServeMetrics::bump(&shared.metrics.bad_requests);
+            let _ = http::write_response(&mut stream, 400, &[], &http::error_body(&message));
+        }
+    }
+}
+
 /// Validates a `/v1/batch-simulate` body and enqueues the job: one
 /// scenario template plus a site count, rejected with `413` when the count
-/// exceeds [`ServeConfig::max_batch`] and shed with `503` when the queue
-/// is full. The worker runs the sites through the batch engine.
+/// exceeds [`ServeConfig::max_batch`]. The worker runs the sites through
+/// the batch engine.
 fn batch_simulate(shared: &Shared, request: Request, mut stream: TcpStream) {
     let parsed = std::str::from_utf8(&request.body)
         .map_err(|_| "body is not valid UTF-8".to_string())
@@ -327,22 +474,96 @@ fn batch_simulate(shared: &Shared, request: Request, mut stream: TcpStream) {
         );
         return;
     }
-    let job = Job {
-        canonical: batch.scenario.config_canonical(),
-        scenario: batch.scenario,
+    enqueue(
+        shared,
+        JobKind::Batch {
+            scenario: batch.scenario,
+            count: batch.count,
+        },
         stream,
-        batch: Some(batch.count),
+    );
+}
+
+/// Validates a `POST /v1/experiments` body and enqueues the create (the
+/// worker runs the warm-up, which can be long).
+fn experiment_create(shared: &Shared, request: Request, mut stream: TcpStream) {
+    sweep_experiments(shared);
+    match parse_scenario(&request.body) {
+        Ok(scenario) => enqueue(shared, JobKind::ExperimentCreate { scenario }, stream),
+        Err(message) => {
+            ServeMetrics::bump(&shared.metrics.bad_requests);
+            let _ = http::write_response(&mut stream, 400, &[], &http::error_body(&message));
+        }
+    }
+}
+
+/// Validates a step body (`{"slots": N}`, `1 ..= max_step_slots`) and
+/// enqueues the step.
+fn experiment_step(shared: &Shared, id: String, request: Request, mut stream: TcpStream) {
+    let parsed = std::str::from_utf8(&request.body)
+        .map_err(|_| "body is not valid UTF-8".to_string())
+        .and_then(|body| hbm_telemetry::json::parse_flat_object(body.trim()))
+        .and_then(|fields| {
+            let mut slots = None;
+            for (key, value) in fields {
+                match key.as_str() {
+                    "slots" => match value.as_f64() {
+                        Some(v) if v >= 1.0 && v.fract() == 0.0 && v <= 9e15 => {
+                            slots = Some(v as u64)
+                        }
+                        _ => return Err("slots must be a positive integer".into()),
+                    },
+                    other => return Err(format!("unknown field {other:?}")),
+                }
+            }
+            slots.ok_or_else(|| "missing required field \"slots\"".to_string())
+        });
+    let slots = match parsed {
+        Ok(slots) => slots,
+        Err(message) => {
+            ServeMetrics::bump(&shared.metrics.bad_requests);
+            let _ = http::write_response(&mut stream, 400, &[], &http::error_body(&message));
+            return;
+        }
     };
-    match shared.queue.try_push(job) {
-        Ok(()) => ServeMetrics::bump(&shared.metrics.simulate_accepted),
-        Err(mut job) => {
-            ServeMetrics::bump(&shared.metrics.shed_total);
-            let _ = http::write_response(
-                &mut job.stream,
-                503,
-                &[("Retry-After", shared.config.retry_after_secs.to_string())],
-                &http::error_body("queue full, retry later"),
-            );
+    if slots > shared.config.max_step_slots {
+        ServeMetrics::bump(&shared.metrics.bad_requests);
+        let _ = http::write_response(
+            &mut stream,
+            413,
+            &[],
+            &http::error_body(&format!(
+                "slots {slots} exceeds the step limit {}",
+                shared.config.max_step_slots
+            )),
+        );
+        return;
+    }
+    enqueue(shared, JobKind::ExperimentStep { id, slots }, stream);
+}
+
+/// Validates a perturb body ([`Perturbation`] flat JSON, at least one
+/// field) and enqueues the perturb.
+fn experiment_perturb(shared: &Shared, id: String, request: Request, mut stream: TcpStream) {
+    let parsed = std::str::from_utf8(&request.body)
+        .map_err(|_| "body is not valid UTF-8".to_string())
+        .and_then(|body| Perturbation::from_flat_json(body.trim()))
+        .and_then(|p| {
+            if p.is_empty() {
+                Err("perturbation must set at least one field".into())
+            } else {
+                Ok(p)
+            }
+        });
+    match parsed {
+        Ok(perturbation) => enqueue(
+            shared,
+            JobKind::ExperimentPerturb { id, perturbation },
+            stream,
+        ),
+        Err(message) => {
+            ServeMetrics::bump(&shared.metrics.bad_requests);
+            let _ = http::write_response(&mut stream, 400, &[], &http::error_body(&message));
         }
     }
 }
@@ -392,17 +613,21 @@ fn run_batch_job(
 }
 
 /// One worker: pop jobs until the queue closes; serve each from the cache
-/// or by running the scenario.
+/// or by running the scenario / experiment operation.
 fn worker_loop(shared: &Shared) {
     while let Some(mut job) = shared.queue.pop() {
         let _busy = BusyGuard::new(&shared.metrics.workers_busy);
-        if let Some(count) = job.batch {
-            match run_batch_job(shared, &job.scenario, count) {
+        match job.kind {
+            JobKind::Simulate {
+                scenario,
+                canonical,
+            } => run_simulate_job(shared, &scenario, &canonical, &mut job.stream),
+            JobKind::Batch { scenario, count } => match run_batch_job(shared, &scenario, count) {
                 Ok((body, all_hit)) => {
                     ServeMetrics::bump(&shared.metrics.simulate_ok);
                     let extra = [
                         ("X-Cache", if all_hit { "hit" } else { "miss" }.to_string()),
-                        ("X-Config-Hash", job.scenario.config_hash()),
+                        ("X-Config-Hash", scenario.config_hash()),
                     ];
                     let _ = http::write_response(&mut job.stream, 200, &extra, body.as_bytes());
                 }
@@ -414,40 +639,106 @@ fn worker_loop(shared: &Shared) {
                         &http::error_body(&message),
                     );
                 }
-            }
-            continue;
-        }
-        let (result, hit) = shared.cache.get_or_compute(&job.canonical, || {
-            let span = timing::start();
-            let started = Instant::now();
-            let report = job.scenario.run()?;
-            timing::record_span("serve.simulate", span);
-            if let Some(dir) = &shared.config.manifest_dir {
-                write_job_manifest(
-                    dir,
-                    &job.scenario,
-                    &job.canonical,
-                    shared.config.workers,
-                    started.elapsed().as_millis() as u64,
-                );
-            }
-            Ok(metrics_json(&job.canonical, &report.metrics) + "\n")
-        });
-        match result {
-            Ok(body) => {
-                ServeMetrics::bump(&shared.metrics.simulate_ok);
-                let extra = [
-                    ("X-Cache", if hit { "hit" } else { "miss" }.to_string()),
-                    ("X-Config-Hash", job.scenario.config_hash()),
-                ];
-                let _ = http::write_response(&mut job.stream, 200, &extra, body.as_bytes());
-            }
-            Err(message) => {
-                let _ =
-                    http::write_response(&mut job.stream, 500, &[], &http::error_body(&message));
-            }
+            },
+            kind => run_experiment_job(shared, kind, &mut job.stream),
         }
     }
+}
+
+/// Runs one `/v1/simulate` job through the cache.
+fn run_simulate_job(shared: &Shared, scenario: &Scenario, canonical: &str, stream: &mut TcpStream) {
+    let (result, hit) = shared.cache.get_or_compute(canonical, || {
+        let span = timing::start();
+        let started = Instant::now();
+        let report = scenario.run()?;
+        timing::record_span("serve.simulate", span);
+        if let Some(dir) = &shared.config.manifest_dir {
+            write_job_manifest(
+                dir,
+                scenario,
+                canonical,
+                shared.config.workers,
+                started.elapsed().as_millis() as u64,
+            );
+        }
+        Ok(metrics_json(canonical, &report.metrics) + "\n")
+    });
+    match result {
+        Ok(body) => {
+            ServeMetrics::bump(&shared.metrics.simulate_ok);
+            let extra = [
+                ("X-Cache", if hit { "hit" } else { "miss" }.to_string()),
+                ("X-Config-Hash", scenario.config_hash()),
+            ];
+            let _ = http::write_response(stream, 200, &extra, body.as_bytes());
+        }
+        Err(message) => {
+            let _ = http::write_response(stream, 500, &[], &http::error_body(&message));
+        }
+    }
+}
+
+/// Runs one experiment lifecycle job against the supervisor.
+fn run_experiment_job(shared: &Shared, kind: JobKind, stream: &mut TcpStream) {
+    let span = timing::start();
+    match kind {
+        JobKind::ExperimentCreate { scenario } => {
+            match shared.supervisor.create(scenario.clone()) {
+                Ok(outcome) => {
+                    ServeMetrics::bump(&shared.metrics.experiments_created);
+                    let mut o = JsonObject::new();
+                    o.str("id", &outcome.id)
+                        .str("policy", &scenario.policy)
+                        .u64("warmup_slots", outcome.warmup_slots)
+                        .u64("slots", 0);
+                    let extra = [("Location", format!("/v1/experiments/{}", outcome.id))];
+                    let body = o.finish() + "\n";
+                    let _ = http::write_response(stream, 201, &extra, body.as_bytes());
+                }
+                Err(e) => respond_api_error(shared, stream, e),
+            }
+        }
+        JobKind::ExperimentStep { id, slots } => match shared.supervisor.step(&id, slots) {
+            Ok(outcome) => {
+                ServeMetrics::bump(&shared.metrics.experiment_steps);
+                shared
+                    .metrics
+                    .experiment_slots
+                    .fetch_add(outcome.stepped, std::sync::atomic::Ordering::Relaxed);
+                let mut o = JsonObject::new();
+                o.str("id", &outcome.id)
+                    .u64("stepped", outcome.stepped)
+                    .u64("slots", outcome.slots);
+                let body = o.finish() + "\n";
+                let _ = http::write_response(stream, 200, &[], body.as_bytes());
+            }
+            Err(e) => respond_api_error(shared, stream, e),
+        },
+        JobKind::ExperimentPerturb { id, perturbation } => {
+            match shared.supervisor.perturb(&id, &perturbation) {
+                Ok(scenario_json) => {
+                    ServeMetrics::bump(&shared.metrics.experiment_perturbs);
+                    let body = scenario_json + "\n";
+                    let _ = http::write_response(stream, 200, &[], body.as_bytes());
+                }
+                Err(e) => respond_api_error(shared, stream, e),
+            }
+        }
+        JobKind::ExperimentDelete { id } => match shared.supervisor.delete(&id) {
+            Ok(()) => {
+                ServeMetrics::bump(&shared.metrics.experiments_deleted);
+                let mut o = JsonObject::new();
+                o.str("deleted", &id);
+                let body = o.finish() + "\n";
+                let _ = http::write_response(stream, 200, &[], body.as_bytes());
+            }
+            Err(e) => respond_api_error(shared, stream, e),
+        },
+        JobKind::Simulate { .. } | JobKind::Batch { .. } => {
+            unreachable!("simulation jobs are handled in worker_loop")
+        }
+    }
+    timing::record_span("serve.experiment", span);
 }
 
 /// Writes the per-run manifest for a freshly computed scenario; failures
@@ -500,10 +791,36 @@ fn health_body(shared: &Shared, workers: usize) -> Vec<u8> {
         .str("version", crate::VERSION)
         .u64("workers", workers as u64)
         .u64("queue_capacity", shared.queue.capacity() as u64)
-        .u64("cache_capacity", shared.config.cache_capacity as u64);
+        .u64("cache_capacity", shared.config.cache_capacity as u64)
+        .u64("max_experiments", shared.config.max_experiments as u64)
+        .bool("experiments_durable", shared.config.state_dir.is_some());
     let mut body = o.finish().into_bytes();
     body.push(b'\n');
     body
+}
+
+/// `GET /v1/experiments`: parallel `ids`/`slots` arrays, flat-JSON
+/// parseable (ids are server-generated and need no escaping).
+fn experiment_list_body(shared: &Shared) -> Vec<u8> {
+    let rows = shared.supervisor.list();
+    let mut out = format!("{{\"count\":{},\"ids\":[", rows.len());
+    for (i, (id, _)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(id);
+        out.push('"');
+    }
+    out.push_str("],\"slots\":[");
+    for (i, (_, slots)) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&slots.to_string());
+    }
+    out.push_str("]}\n");
+    out.into_bytes()
 }
 
 fn metrics_body(shared: &Shared, workers: usize) -> Vec<u8> {
@@ -534,7 +851,36 @@ fn metrics_body(shared: &Shared, workers: usize) -> Vec<u8> {
     .u64("queue_capacity", shared.queue.capacity() as u64)
     .u64("workers", workers as u64)
     .u64("workers_busy", busy)
-    .f64("worker_utilization", busy as f64 / workers.max(1) as f64);
+    .f64("worker_utilization", busy as f64 / workers.max(1) as f64)
+    .u64("experiments_active", shared.supervisor.active() as u64)
+    .u64(
+        "experiments_created",
+        ServeMetrics::get(&shared.metrics.experiments_created),
+    )
+    .u64(
+        "experiments_restored",
+        ServeMetrics::get(&shared.metrics.experiments_restored),
+    )
+    .u64(
+        "experiments_deleted",
+        ServeMetrics::get(&shared.metrics.experiments_deleted),
+    )
+    .u64(
+        "experiments_evicted",
+        ServeMetrics::get(&shared.metrics.experiments_evicted),
+    )
+    .u64(
+        "experiment_steps",
+        ServeMetrics::get(&shared.metrics.experiment_steps),
+    )
+    .u64(
+        "experiment_slots",
+        ServeMetrics::get(&shared.metrics.experiment_slots),
+    )
+    .u64(
+        "experiment_perturbs",
+        ServeMetrics::get(&shared.metrics.experiment_perturbs),
+    );
     let mut body = o.finish().into_bytes();
     body.push(b'\n');
     body

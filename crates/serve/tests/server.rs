@@ -77,6 +77,34 @@ fn get(addr: SocketAddr, path: &str) -> (u16, Vec<(String, String)>, String) {
     exchange(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
 }
 
+/// An arbitrary-method request with an optional body.
+fn req(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    exchange(
+        addr,
+        &format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn json_str(body: &str, key: &str) -> String {
+    let fields = hbm_telemetry::json::parse_flat_object(body.trim()).expect("flat json");
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("missing {key} in {body}"))
+        .1
+        .as_str()
+        .expect("string")
+        .to_string()
+}
+
 fn json_u64(body: &str, key: &str) -> u64 {
     let fields = hbm_telemetry::json::parse_flat_object(body.trim()).expect("flat json");
     fields
@@ -155,9 +183,20 @@ fn bad_requests_get_4xx_not_a_hang() {
     );
     assert_eq!(status, 400);
 
-    // Routing errors.
-    let (status, _, _) = get(addr, "/v1/simulate");
+    // Routing errors: a wrong method on a known path is 405 and names the
+    // allowed set; an unknown path is 404.
+    let (status, headers, _) = get(addr, "/v1/simulate");
     assert_eq!(status, 405);
+    assert_eq!(header(&headers, "allow"), Some("POST"));
+    let (status, headers, _) = req(addr, "DELETE", "/v1/batch-simulate", "");
+    assert_eq!(status, 405);
+    assert_eq!(header(&headers, "allow"), Some("POST"));
+    let (status, headers, _) = req(addr, "PATCH", "/v1/health", "");
+    assert_eq!(status, 405);
+    assert_eq!(header(&headers, "allow"), Some("GET"));
+    let (status, headers, _) = req(addr, "PUT", "/v1/experiments", "");
+    assert_eq!(status, 405);
+    assert_eq!(header(&headers, "allow"), Some("GET, POST"));
     let (status, _, _) = get(addr, "/nope");
     assert_eq!(status, 404);
 
@@ -336,4 +375,225 @@ fn manifest_written_per_computed_scenario() {
     handle.stop();
     thread.join().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A short experiment scenario shared by the lifecycle tests.
+const EXP_SCENARIO: &str = "{\"policy\":\"myopic\",\"days\":2,\"warmup_days\":0,\"seed\":7}";
+
+fn exp_scenario() -> hbm_core::Scenario {
+    let mut s = hbm_core::Scenario::new("myopic");
+    s.days = 2;
+    s.warmup_days = 0;
+    s.seed = 7;
+    s
+}
+
+fn temp_state_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hbm_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn experiment_lifecycle_over_http() {
+    let (addr, handle, thread) = boot(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+
+    // Create, step, inspect, perturb, delete — the whole arc.
+    let (status, headers, body) = req(addr, "POST", "/v1/experiments", EXP_SCENARIO);
+    assert_eq!(status, 201, "body: {body}");
+    let id = json_str(&body, "id");
+    assert_eq!(
+        header(&headers, "location"),
+        Some(format!("/v1/experiments/{id}").as_str())
+    );
+    assert_eq!(json_u64(&body, "warmup_slots"), 0);
+
+    let (status, _, body) = req(
+        addr,
+        "POST",
+        &format!("/v1/experiments/{id}/step"),
+        "{\"slots\":500}",
+    );
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(json_u64(&body, "stepped"), 500);
+    assert_eq!(json_u64(&body, "slots"), 500);
+
+    let (status, _, listing) = get(addr, "/v1/experiments");
+    assert_eq!(status, 200);
+    assert_eq!(json_u64(&listing, "count"), 1);
+    assert!(listing.contains(&format!("\"{id}\"")), "listing: {listing}");
+
+    // State is the live checkpoint line.
+    let (status, _, state) = get(addr, &format!("/v1/experiments/{id}/state"));
+    assert_eq!(status, 200);
+    assert!(state.contains(&format!("\"schema\":\"{}\"", hbm_core::SNAPSHOT_SCHEMA)));
+
+    // Metrics carry the effective config hash.
+    let (status, headers, metrics) = get(addr, &format!("/v1/experiments/{id}/metrics"));
+    assert_eq!(status, 200);
+    assert_eq!(json_u64(&metrics, "slots"), 500);
+    assert_eq!(
+        header(&headers, "x-config-hash"),
+        Some(exp_scenario().config_hash().as_str())
+    );
+
+    // Perturbing returns the effective scenario and changes the hash.
+    let (status, _, effective) = req(
+        addr,
+        "POST",
+        &format!("/v1/experiments/{id}/perturb"),
+        "{\"threshold_c\":30.5}",
+    );
+    assert_eq!(status, 200, "body: {effective}");
+    assert!(
+        effective.contains("\"threshold_c\":30.5"),
+        "got {effective}"
+    );
+    let (_, headers, _) = get(addr, &format!("/v1/experiments/{id}/metrics"));
+    assert_ne!(
+        header(&headers, "x-config-hash"),
+        Some(exp_scenario().config_hash().as_str())
+    );
+
+    // Bad inputs fail fast.
+    let (status, _, _) = req(
+        addr,
+        "POST",
+        &format!("/v1/experiments/{id}/step"),
+        "{\"slots\":0}",
+    );
+    assert_eq!(status, 400);
+    let (status, _, _) = req(addr, "POST", &format!("/v1/experiments/{id}/step"), "{}");
+    assert_eq!(status, 400);
+    let (status, _, _) = req(
+        addr,
+        "POST",
+        &format!("/v1/experiments/{id}/step"),
+        "{\"slots\":99999999}",
+    );
+    assert_eq!(status, 413);
+    let (status, _, _) = req(addr, "POST", &format!("/v1/experiments/{id}/perturb"), "{}");
+    assert_eq!(status, 400);
+    let (status, _, _) = req(
+        addr,
+        "POST",
+        &format!("/v1/experiments/{id}/perturb"),
+        "{\"utilization\":5.0}",
+    );
+    assert_eq!(status, 400);
+    let (status, _, _) = req(
+        addr,
+        "POST",
+        "/v1/experiments/exp-999999/step",
+        "{\"slots\":1}",
+    );
+    assert_eq!(status, 404);
+
+    // Delete, and the id is gone.
+    let (status, _, body) = req(addr, "DELETE", &format!("/v1/experiments/{id}"), "");
+    assert_eq!(status, 200);
+    assert_eq!(json_str(&body, "deleted"), id);
+    let (status, _, _) = get(addr, &format!("/v1/experiments/{id}/state"));
+    assert_eq!(status, 404);
+
+    // The daemon metrics saw the lifecycle.
+    let (_, _, metrics) = get(addr, "/v1/metrics");
+    assert_eq!(json_u64(&metrics, "experiments_created"), 1);
+    assert_eq!(json_u64(&metrics, "experiments_deleted"), 1);
+    assert_eq!(json_u64(&metrics, "experiments_active"), 0);
+    assert_eq!(json_u64(&metrics, "experiment_steps"), 1);
+    assert_eq!(json_u64(&metrics, "experiment_slots"), 500);
+    assert_eq!(json_u64(&metrics, "experiment_perturbs"), 1);
+
+    handle.stop();
+    thread.join().unwrap();
+}
+
+#[test]
+fn kill_and_restore_continues_bit_identically() {
+    // The tentpole guarantee: kill the daemon mid-experiment, reboot on
+    // the same state dir, finish stepping — the final metrics body must be
+    // byte-identical to an uninterrupted /v1/simulate of the same
+    // scenario.
+    let dir = temp_state_dir("kill_restore");
+    let scenario = exp_scenario();
+    let total_slots = scenario.slots();
+
+    let (addr, handle, thread) = boot(ServeConfig {
+        workers: 2,
+        state_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let (status, _, body) = req(addr, "POST", "/v1/experiments", EXP_SCENARIO);
+    assert_eq!(status, 201, "body: {body}");
+    let id = json_str(&body, "id");
+    let (status, _, _) = req(
+        addr,
+        "POST",
+        &format!("/v1/experiments/{id}/step"),
+        "{\"slots\":1000}",
+    );
+    assert_eq!(status, 200);
+
+    // Kill.
+    handle.stop();
+    thread.join().unwrap();
+
+    // Reboot on the same state dir: the experiment is back with its
+    // progress, and its checkpoint is byte-stable across the restart.
+    let (addr, handle, thread) = boot(ServeConfig {
+        workers: 2,
+        state_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let (status, _, listing) = get(addr, "/v1/experiments");
+    assert_eq!(status, 200);
+    assert_eq!(json_u64(&listing, "count"), 1, "listing: {listing}");
+    assert!(listing.contains(&format!("\"{id}\"")));
+    let (_, _, metrics) = get(addr, &format!("/v1/experiments/{id}/metrics"));
+    assert_eq!(json_u64(&metrics, "slots"), 1000);
+    let (_, _, daemon_metrics) = get(addr, "/v1/metrics");
+    assert_eq!(json_u64(&daemon_metrics, "experiments_restored"), 1);
+
+    // Step to the full horizon and compare against the uninterrupted run.
+    let remaining = total_slots - 1000;
+    let (status, _, _) = req(
+        addr,
+        "POST",
+        &format!("/v1/experiments/{id}/step"),
+        &format!("{{\"slots\":{remaining}}}"),
+    );
+    assert_eq!(status, 200);
+    let (status, _, experiment_body) = get(addr, &format!("/v1/experiments/{id}/metrics"));
+    assert_eq!(status, 200);
+    let (status, _, simulate_body) = post_simulate(addr, EXP_SCENARIO);
+    assert_eq!(status, 200);
+    assert_eq!(
+        experiment_body, simulate_body,
+        "killed-and-restored experiment must match the uninterrupted run byte for byte"
+    );
+
+    handle.stop();
+    thread.join().unwrap();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn every_route_is_documented_in_service_md() {
+    // docs/SERVICE.md must document every route the router serves, as a
+    // literal "METHOD /path" string — adding a route without documenting
+    // it fails here.
+    let doc = include_str!("../../../docs/SERVICE.md");
+    for route in hbm_serve::routes::ROUTES {
+        for method in route.methods {
+            let needle = format!("{method} {}", route.pattern);
+            assert!(
+                doc.contains(&needle),
+                "docs/SERVICE.md does not document {needle:?}"
+            );
+        }
+    }
 }

@@ -168,13 +168,13 @@ impl VoltageSideChannel {
     }
 
     /// The raw RNG state words (for [`ChannelLanes`](crate::ChannelLanes)'s
-    /// column-wise layout).
-    pub(crate) fn rng_state(&self) -> [u64; 4] {
+    /// column-wise layout and checkpoint serialization).
+    pub fn rng_state(&self) -> [u64; 4] {
         self.rng.state()
     }
 
     /// Current grid-wander offset, in volts.
-    pub(crate) fn wander_volts(&self) -> f64 {
+    pub fn wander_volts(&self) -> f64 {
         self.wander
     }
 
@@ -184,9 +184,11 @@ impl VoltageSideChannel {
     }
 
     /// Overwrites the RNG and wander state (used by
-    /// [`ChannelLanes::sync_back`](crate::ChannelLanes::sync_back) and the
-    /// rejection tests); configuration and calibration biases are immutable.
-    pub(crate) fn restore_noise_state(&mut self, rng: [u64; 4], wander: f64) {
+    /// [`ChannelLanes::sync_back`](crate::ChannelLanes::sync_back), checkpoint
+    /// restore, and the rejection tests); configuration and calibration
+    /// biases are immutable — they re-derive deterministically from the seed
+    /// at construction.
+    pub fn restore_noise_state(&mut self, rng: [u64; 4], wander: f64) {
         self.rng = StdRng::from_state(rng);
         self.wander = wander;
     }

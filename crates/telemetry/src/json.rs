@@ -117,6 +117,9 @@ pub enum JsonValue {
     Str(String),
     /// `null`.
     Null,
+    /// An array of values (one nesting level; used by checkpoint schemas
+    /// for Q-table rows and histogram counts).
+    Arr(Vec<JsonValue>),
 }
 
 impl JsonValue {
@@ -143,11 +146,51 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Appends a JSON array of floats (shortest-round-trip form, like
+/// [`push_json_f64`]) to `out`.
+pub fn push_json_f64_array(out: &mut String, values: &[f64]) {
+    out.push('[');
+    for (i, &v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_f64(out, v);
+    }
+    out.push(']');
+}
+
+/// Appends a JSON array of unsigned integers to `out`.
+///
+/// Values must stay below 2⁵³ to round-trip exactly through the decoder
+/// (all JSON numbers decode as `f64`); counters bounded by simulated slots
+/// are far inside that range. Encode full-range words (RNG state) as hex
+/// strings instead.
+pub fn push_json_u64_array(out: &mut String, values: &[u64]) {
+    out.push('[');
+    for (i, &v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
 }
 
 /// Decodes one flat JSON object (one JSONL line) into `(key, value)` pairs
-/// in document order. Nested containers are not supported — the telemetry
-/// record and manifest schemas are deliberately flat.
+/// in document order. Values may be scalars or arrays of scalars (the
+/// checkpoint schema stores Q-table rows and histogram counts as arrays);
+/// nested objects are not supported — the telemetry record and manifest
+/// schemas are deliberately flat.
 ///
 /// # Errors
 ///
@@ -266,6 +309,7 @@ impl Parser<'_> {
             b't' => self.literal("true", JsonValue::Bool(true)),
             b'f' => self.literal("false", JsonValue::Bool(false)),
             b'n' => self.literal("null", JsonValue::Null),
+            b'[' => self.array(),
             _ => {
                 let start = self.pos;
                 while matches!(
@@ -278,6 +322,26 @@ impl Parser<'_> {
                 text.parse::<f64>()
                     .map(JsonValue::Num)
                     .map_err(|e| format!("bad number {text:?}: {e}"))
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(JsonValue::Arr(items)),
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
             }
         }
     }
@@ -350,5 +414,36 @@ mod tests {
         assert!(parse_flat_object("{\"a\":1} trailing").is_err());
         assert!(parse_flat_object("[1,2]").is_err());
         assert!(parse_flat_object("{\"a\"}").is_err());
+        assert!(parse_flat_object("{\"a\":[1,2}").is_err());
+        assert!(parse_flat_object("{\"a\":[1,]}").is_err());
+    }
+
+    #[test]
+    fn arrays_round_trip_bit_exactly() {
+        let values = [0.1, -3.75, 1.0 / 3.0, 6.02e23, 7.0, -0.0];
+        let mut arr = String::new();
+        push_json_f64_array(&mut arr, &values);
+        let mut o = JsonObject::new();
+        o.raw("q", &arr).u64("slot", 3);
+        let fields = parse_flat_object(&o.finish()).unwrap();
+        let parsed = fields[0].1.as_array().unwrap();
+        assert_eq!(parsed.len(), values.len());
+        for (p, v) in parsed.iter().zip(values) {
+            assert_eq!(p.as_f64().unwrap().to_bits(), v.to_bits());
+        }
+        assert_eq!(fields[1].1.as_f64().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn u64_arrays_and_empties_parse() {
+        let mut arr = String::new();
+        push_json_u64_array(&mut arr, &[0, 1, 1 << 53]);
+        assert_eq!(arr, "[0,1,9007199254740992]");
+        let fields = parse_flat_object("{\"v\":[ ],\"w\":[true,null,\"s\"]}").unwrap();
+        assert!(fields[0].1.as_array().unwrap().is_empty());
+        let w = fields[1].1.as_array().unwrap();
+        assert_eq!(w[0].as_bool(), Some(true));
+        assert_eq!(w[1], JsonValue::Null);
+        assert_eq!(w[2].as_str(), Some("s"));
     }
 }

@@ -61,6 +61,18 @@ cargo build --release -q -p hbm-serve
     --json "$serve_json" >/dev/null
 fold_json "$serve_json"
 
+# Fold in a short sessionful load run: live experiments stepped 120 slots
+# per request with per-step checkpointing (entries serve/session_*).
+session_json="$repo_root/target/serve_session_bench.json"
+session_state="$repo_root/target/serve_session_state"
+rm -rf "$session_state"
+"$repo_root/target/release/hbm-serve-bench" \
+    --connections 4 --duration-secs 2 --days 1 --warmup-days 0 \
+    --session-slots 120 --state-dir "$session_state" \
+    --json "$session_json" >/dev/null
+rm -rf "$session_state"
+fold_json "$session_json"
+
 echo ""
 echo "wrote $out"
 
@@ -122,5 +134,13 @@ awk -F'"' '
         if (lat > 0 && p99 > 0)
             printf "hbm-serve request latency: p50 %.3f ms, p99 %.3f ms\n",
                 lat / 1e6, p99 / 1e6
+        slat = median["serve/session_step_latency"]
+        sp99 = median["serve/session_step_latency_p99"]
+        if (slat > 0 && sp99 > 0)
+            printf "hbm-serve sessionful step (120 slots, checkpointed): p50 %.3f ms, p99 %.3f ms\n",
+                slat / 1e6, sp99 / 1e6
+        sns = median["serve/session_slot_ns"]
+        if (sns > 0)
+            printf "hbm-serve sessionful throughput: %.2fM slots/s aggregate\n", 1e3 / sns
     }
 ' "$out"

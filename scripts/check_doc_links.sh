@@ -1,0 +1,52 @@
+#!/bin/sh
+# Documentation gate, run by CI:
+#
+#   1. Every intra-repo markdown link ([text](relative/path)) in the
+#      tracked *.md files must point at a file that exists.
+#   2. `cargo doc --no-deps` must be warning-clean (rustdoc warnings are
+#      promoted to errors).
+#
+# Usage: scripts/check_doc_links.sh [--links-only]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+fail=0
+
+# Markdown files to check: the repo's own docs, not vendored or generated
+# trees.
+files=$(git ls-files '*.md' 2>/dev/null | grep -v '^vendor/' || true)
+[ -n "$files" ] || files=$(find . -name '*.md' -not -path './target/*' -not -path './vendor/*' -not -path './.git/*')
+
+for file in $files; do
+    dir=$(dirname "$file")
+    # Pull out ](target) link destinations, one per line. Markdown links
+    # here never contain spaces or nested parentheses.
+    links=$(grep -o ']([^)]*)' "$file" 2>/dev/null | sed -e 's/^](//' -e 's/)$//' || true)
+    [ -n "$links" ] || continue
+    for link in $links; do
+        case $link in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        target=${link%%#*}
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+            echo "broken link in $file: ($link)"
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "error: broken intra-repo markdown links (see above)"
+    exit 1
+fi
+echo "markdown links: ok"
+
+if [ "${1:-}" = "--links-only" ]; then
+    exit 0
+fi
+
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+echo "cargo doc: warning-clean"
