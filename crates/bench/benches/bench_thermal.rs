@@ -7,7 +7,10 @@ use std::hint::black_box;
 
 use hbm_bench::gather::GatherHeatMatrixModel;
 use hbm_bench::nested::NestedCfdModel;
-use hbm_core::{BatchSim, ColoConfig, ForesightedPolicy, MyopicPolicy, Simulation};
+use hbm_core::{
+    BatchSim, ColoConfig, ForesightedPolicy, MyopicPolicy, Perturbation, Scenario, Simulation,
+    StateTree,
+};
 use hbm_telemetry::MemoryRecorder;
 use hbm_thermal::{
     clear_heat_matrix_cache, extract_heat_matrix, CfdConfig, CfdModel, HeatMatrixModel, ZoneModel,
@@ -255,11 +258,59 @@ fn fleet_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// What-if branching cost: answering "what if the attack intensifies at
+/// slot 7200?" by forking the live run (`Simulation::fork` + a
+/// [`StateTree`] branch stepped 60 slots) versus re-simulating the whole
+/// 7200-slot prefix from slot 0 and then stepping the same 60 slots. The
+/// ratio of the two medians is the fork speedup `scripts/perf_guard.sh`
+/// gates (the fork must stay ≥ cheap relative to the rerun).
+fn fork_vs_rerun(c: &mut Criterion) {
+    const FORK_SLOT: u64 = 7200;
+    const BRANCH_SLOTS: u64 = 60;
+    let scenario = {
+        let mut s = Scenario::new("myopic");
+        s.days = 6;
+        s.warmup_days = 0;
+        s.seed = 1;
+        s
+    };
+    let hotter = Perturbation {
+        attack_load_kw: Some(3.0),
+        battery_kwh: Some(1.0),
+        ..Perturbation::default()
+    };
+
+    let mut group = c.benchmark_group("fork_vs_rerun");
+    group.sample_size(10);
+
+    group.bench_function("fork", |b| {
+        let (mut trunk, _) = scenario.build_sim().expect("bench scenario builds");
+        trunk.run(FORK_SLOT);
+        b.iter(|| {
+            let mut tree = StateTree::new(trunk.fork(), scenario.clone());
+            tree.branch("hotter", &hotter).expect("branch applies");
+            tree.run(BRANCH_SLOTS);
+            black_box(tree.first_divergence())
+        });
+    });
+
+    group.bench_function("rerun", |b| {
+        b.iter(|| {
+            let (mut sim, _) = scenario.build_sim().expect("bench scenario builds");
+            sim.run(FORK_SLOT + BRANCH_SLOTS);
+            black_box(sim.metrics().slots)
+        });
+    });
+
+    group.finish();
+}
+
 criterion_group!(
     benches,
     zone_model,
     cfd_model,
     sim_throughput,
-    fleet_throughput
+    fleet_throughput,
+    fork_vs_rerun
 );
 criterion_main!(benches);

@@ -120,6 +120,12 @@ pub trait AttackPolicy: std::any::Any + Send {
         true
     }
 
+    /// A boxed deep copy of the policy, RNG state and learnt tables
+    /// included. This is what makes [`crate::Simulation::fork`] cheap: the
+    /// forked lane continues bit-identically to the original without a
+    /// serialize/rebuild round trip.
+    fn clone_policy(&self) -> Box<dyn AttackPolicy>;
+
     /// Upcast for inspecting a concrete policy after a run (e.g. reading
     /// the learnt [`ForesightedPolicy::policy_matrix`] for Fig. 10).
     fn as_any(&self) -> &dyn std::any::Any;
@@ -136,7 +142,7 @@ fn can_attack(stored: Energy, attack_load: Power, slot: Duration) -> bool {
 /// **Random**: attacks with a fixed probability whenever the battery has
 /// enough energy, oblivious to the benign tenants' load (the paper's
 /// baseline that never manages to create an emergency).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RandomPolicy {
     probability: f64,
     attack_load: Power,
@@ -181,6 +187,10 @@ impl AttackPolicy for RandomPolicy {
 
     fn wants_learn(&self) -> bool {
         false
+    }
+
+    fn clone_policy(&self) -> Box<dyn AttackPolicy> {
+        Box::new(self.clone())
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -260,6 +270,10 @@ impl AttackPolicy for MyopicPolicy {
         false
     }
 
+    fn clone_policy(&self) -> Box<dyn AttackPolicy> {
+        Box::new(self.clone())
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -324,6 +338,10 @@ impl AttackPolicy for OneShotPolicy {
 
     fn wants_learn(&self) -> bool {
         false
+    }
+
+    fn clone_policy(&self) -> Box<dyn AttackPolicy> {
+        Box::new(self.clone())
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -416,7 +434,7 @@ impl Learner {
 /// oscillates instead of sustaining attacks. The attacker reads the inlet
 /// temperature from its own servers' sensors, exactly as the paper's
 /// reward computation already assumes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ForesightedPolicy {
     agent: Learner,
     battery_grid: UniformGrid,
@@ -778,6 +796,10 @@ impl ForesightedPolicy {
 impl AttackPolicy for ForesightedPolicy {
     fn name(&self) -> &str {
         "foresighted"
+    }
+
+    fn clone_policy(&self) -> Box<dyn AttackPolicy> {
+        Box::new(self.clone())
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

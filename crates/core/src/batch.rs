@@ -23,6 +23,8 @@
 //! Telemetry: each batch slot emits one `batch.step` span (one unit per
 //! lane), with the zone pass nested under `batch.zone`.
 
+use std::sync::Arc;
+
 use hbm_battery::Battery;
 use hbm_power::EmergencyProtocol;
 use hbm_sidechannel::math::box_muller_slice;
@@ -230,7 +232,7 @@ struct MyopicLanes {
 pub struct BatchSim {
     // ---- Per-lane scenario components (AoS; cold per slot). ----
     configs: Vec<ColoConfig>,
-    traces: Vec<PowerTrace>,
+    traces: Vec<Arc<PowerTrace>>,
     /// Parameter template per lane; live inlet state is in `zones`.
     zone_models: Vec<ZoneModel>,
     protocols: Vec<EmergencyProtocol>,

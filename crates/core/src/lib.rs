@@ -48,6 +48,7 @@ mod metrics;
 pub mod scenario;
 mod sim;
 mod state;
+mod tree;
 
 pub use attacker::{
     AttackAction, AttackPolicy, ForesightedPolicy, Learner, MyopicPolicy, Observation,
@@ -60,7 +61,8 @@ pub use fleet::{coordinated_one_shot, Fleet, FleetReport};
 pub use metrics::Metrics;
 pub use scenario::{Perturbation, Scenario};
 pub use sim::{SimReport, Simulation, SlotRecord};
-pub use state::SNAPSHOT_SCHEMA;
+pub use state::{Snapshot, SNAPSHOT_SCHEMA};
+pub use tree::{BranchOutcome, StateTree};
 
 /// The crate version, for run manifests.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,5 +1,7 @@
 //! The slotted colocation simulator.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use hbm_battery::Battery;
@@ -54,6 +56,7 @@ pub struct SimReport {
 /// Everything not yet known when the policy acted; completed (and fed to
 /// [`AttackPolicy::learn`]) at the start of the next slot, when the next
 /// side-channel estimate exists.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct PendingTransition {
     pub(crate) observation: Observation,
     pub(crate) action: AttackAction,
@@ -67,7 +70,7 @@ pub(crate) struct PendingTransition {
 /// hand it back unchanged. Field-for-field mirror of [`Simulation`].
 pub(crate) struct SimParts {
     pub(crate) config: ColoConfig,
-    pub(crate) trace: PowerTrace,
+    pub(crate) trace: Arc<PowerTrace>,
     pub(crate) zone: ZoneModel,
     pub(crate) protocol: EmergencyProtocol,
     pub(crate) battery: Battery,
@@ -125,7 +128,10 @@ pub(crate) fn emit_sample(rec: &mut dyn Recorder, r: &SlotRecord, raw_estimate: 
 /// serialize and restore the dynamic state bit-exactly.
 pub struct Simulation {
     pub(crate) config: ColoConfig,
-    pub(crate) trace: PowerTrace,
+    /// The benign workload trace. Behind an [`Arc`] because it is the one
+    /// large piece of *static* state: [`Simulation::fork`] shares it
+    /// instead of copying megabytes of samples per branch.
+    pub(crate) trace: Arc<PowerTrace>,
     pub(crate) zone: ZoneModel,
     pub(crate) protocol: EmergencyProtocol,
     pub(crate) battery: Battery,
@@ -153,10 +159,24 @@ impl Simulation {
     ///
     /// Panics if `config` fails [`ColoConfig::validate`].
     pub fn new(config: ColoConfig, policy: Box<dyn AttackPolicy>, seed: u64) -> Self {
-        config.validate().expect("invalid colocation config");
         let mut trace_config = config.trace;
         trace_config.seed = trace_config.seed.wrapping_add(seed);
-        let trace = generate(&trace_config);
+        let trace = Arc::new(generate(&trace_config));
+        Self::with_trace(config, policy, seed, trace)
+    }
+
+    /// Like [`Simulation::new`], but with an already-generated workload
+    /// trace instead of synthesizing one. The caller is responsible for
+    /// passing exactly the trace [`Simulation::new`] would generate for
+    /// this `config`/`seed` pair — [`crate::Scenario::build_sim_sharing_trace`]
+    /// checks that before sharing a donor's `Arc`.
+    pub(crate) fn with_trace(
+        config: ColoConfig,
+        policy: Box<dyn AttackPolicy>,
+        seed: u64,
+        trace: Arc<PowerTrace>,
+    ) -> Self {
+        config.validate().expect("invalid colocation config");
         let zone = ZoneModel::new(
             config.cooling,
             config.zone_heat_capacity_j_per_k,
@@ -192,6 +212,12 @@ impl Simulation {
     /// The benign workload trace in use.
     pub fn trace(&self) -> &PowerTrace {
         &self.trace
+    }
+
+    /// A shared handle to the workload trace (traces are immutable, so
+    /// forked and rebuilt simulators can alias one allocation).
+    pub(crate) fn trace_arc(&self) -> Arc<PowerTrace> {
+        Arc::clone(&self.trace)
     }
 
     /// Current inlet temperature.
@@ -490,6 +516,35 @@ impl Simulation {
         SimReport {
             policy: self.policy.name().to_string(),
             metrics,
+        }
+    }
+
+    /// A deep copy of the live simulation that continues bit-identically
+    /// and independently: every piece of dynamic state (zone, protocol,
+    /// battery, side-channel RNG, policy tables, metrics, pending learning
+    /// transition) is cloned, while the immutable workload trace is shared
+    /// via [`Arc`]. The fork starts without a recorder.
+    ///
+    /// This is the cheap branching primitive behind [`crate::StateTree`]
+    /// and the serve layer's `/fork` endpoint: forking costs a state copy
+    /// (a few kB plus the policy's Q tables), not a rebuild-from-scenario
+    /// plus checkpoint round trip.
+    pub fn fork(&self) -> Simulation {
+        Simulation {
+            config: self.config.clone(),
+            trace: Arc::clone(&self.trace),
+            zone: self.zone,
+            protocol: self.protocol.clone(),
+            battery: self.battery.clone(),
+            side_channel: self.side_channel.clone(),
+            policy: self.policy.clone_policy(),
+            slot_index: self.slot_index,
+            metrics: self.metrics.clone(),
+            pending: self.pending,
+            outage_remaining: self.outage_remaining,
+            prev_capping: self.prev_capping,
+            estimate_filter: self.estimate_filter,
+            recorder: None,
         }
     }
 

@@ -8,7 +8,7 @@
 //! kill-and-restore test extends the same contract across a daemon
 //! restart; this file proves the core mechanism.
 
-use hbm_core::{ColoConfig, OneShotPolicy, Perturbation, Scenario, Simulation};
+use hbm_core::{ColoConfig, OneShotPolicy, Perturbation, Scenario, Simulation, Snapshot};
 use hbm_units::Power;
 use proptest::prelude::*;
 
@@ -187,8 +187,72 @@ fn foresighted_q_tables_survive_the_round_trip() {
     assert_eq!(sim.snapshot_json(), restored.snapshot_json());
 }
 
+#[test]
+fn fork_continues_bit_identically_and_independently() {
+    for policy in ["random", "myopic", "foresighted"] {
+        let scenario = short(policy, 5);
+        let (mut sim, _) = scenario.build_sim().unwrap();
+        sim.run(400);
+        let mut fork = sim.fork();
+        assert_lockstep(&mut sim, &mut fork, 800);
+        // Independence: advancing the fork must not disturb the original.
+        let before = sim.snapshot_json();
+        fork.run(100);
+        assert_eq!(sim.snapshot_json(), before);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Binary `snapshot()`/`restore()` is bit-identical to the
+    /// `snapshot_json()`/`restore_from_json()` round trip: the snapshot
+    /// serializes to the exact checkpoint line, the line parses back to
+    /// the exact snapshot, and the two restore paths land on the same
+    /// state and step identically — across policies, seeds, split points,
+    /// and mid-run perturbations.
+    #[test]
+    fn binary_snapshot_matches_json_round_trip(
+        policy_idx in 0usize..3,
+        seed in 0u64..40,
+        split in 50u64..1200,
+        k in 50u64..400,
+        perturb_kind in 0usize..4,
+        threshold in 29.0..34.0f64,
+        load_kw in 0.8..1.6f64,
+    ) {
+        let policy = ["random", "myopic", "foresighted"][policy_idx];
+        let base = short(policy, seed);
+        let (mut reference, _) = base.build_sim().unwrap();
+        reference.run(split);
+
+        let snap = reference.snapshot();
+        let line = reference.snapshot_json();
+        prop_assert_eq!(snap.to_json(), line.clone(), "binary→JSON drifted");
+        let reparsed = Snapshot::from_json(&line).unwrap();
+        prop_assert_eq!(&reparsed, &snap, "JSON→binary drifted");
+
+        let perturbation = Perturbation {
+            threshold_c: (perturb_kind & 1 != 0).then_some(threshold),
+            attack_load_kw: (perturb_kind & 2 != 0).then_some(load_kw),
+            ..Perturbation::default()
+        };
+        let effective = perturbation.apply(&base);
+
+        let (mut via_binary, _) = effective.build_sim().unwrap();
+        via_binary.restore(&snap).unwrap();
+        let (mut via_json, _) = effective.build_sim().unwrap();
+        via_json.restore_from_json(&line).unwrap();
+        prop_assert_eq!(via_binary.snapshot_json(), via_json.snapshot_json());
+
+        for slot in 0..k {
+            let a = via_binary.step();
+            let b = via_json.step();
+            prop_assert_eq!(a, b, "slot {} diverged between restore paths", slot);
+        }
+        prop_assert_eq!(via_binary.metrics(), via_json.metrics());
+        prop_assert_eq!(via_binary.snapshot_json(), via_json.snapshot_json());
+    }
 
     /// serialize → restore → step K ≡ uninterrupted, over random policies,
     /// seeds, split points, and optional mid-run perturbations.

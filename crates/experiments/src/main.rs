@@ -9,6 +9,7 @@
 //!                      [--util F] [--attack-load-kw F] [--battery-kwh F]
 //!                      [--threshold-c F] [--cap-w F]
 //! experiments client [--addr HOST:PORT] <create|list|step|perturb|state|metrics|delete> ...
+//! experiments whatif --policy NAME [--fork-at SLOT] [--slots N] [--variant key=value[,...]]...
 //! ```
 //!
 //! Each experiment prints a summary table and writes the full data series
@@ -23,6 +24,12 @@
 //! `client` drives a running `hbm-serve` daemon's sessionful experiment
 //! API over TCP — create, step, perturb, inspect, and delete long-lived
 //! experiments without writing HTTP by hand (see [`client`]).
+//!
+//! `whatif` forks one scenario at a chosen slot into a control branch
+//! plus per-`--variant` branches ([`hbm_core::StateTree`]) and prints a
+//! lockstep comparison — where the futures diverge and how their
+//! outcomes differ — without re-simulating the shared prefix (see
+//! [`whatif`]).
 //!
 //! `--jobs N` runs independent experiments on up to `N` threads (0 = one
 //! per core); sweeps inside an experiment parallelize too, all drawing
@@ -45,6 +52,7 @@ mod figs_extra;
 mod figs_infra;
 mod figs_perf;
 mod figs_sense;
+mod whatif;
 
 use common::{Options, Sink};
 
@@ -86,6 +94,7 @@ fn usage() {
     eprintln!("usage: experiments <id>... | all   [--days N] [--warmup-days N] [--seed N] [--out DIR] [--jobs N] [--trace DIR] [--timings] [--timings-json FILE]");
     eprintln!("       experiments simulate --policy NAME [--days N] [--warmup-days N] [--seed N] [--util F] [--attack-load-kw F] [--battery-kwh F] [--threshold-c F] [--cap-w F]");
     eprintln!("       experiments client [--addr HOST:PORT] <create|list|step|perturb|state|metrics|delete> ...");
+    eprintln!("       experiments whatif --policy NAME [--fork-at SLOT] [--slots N] [--variant key=value[,...]]...");
     eprintln!("available experiments:");
     for (name, _) in EXPERIMENTS {
         eprintln!("  {name}");
@@ -151,6 +160,14 @@ fn main() {
         if let Err(e) = run_simulate(&opts, &ids[1..]) {
             eprintln!("error: {e}");
             usage();
+            std::process::exit(2);
+        }
+        return;
+    }
+    if ids[0] == "whatif" {
+        if let Err(e) = whatif::run_whatif(&opts, &ids[1..]) {
+            eprintln!("error: {e}");
+            eprintln!("{}", whatif::USAGE);
             std::process::exit(2);
         }
         return;

@@ -4,7 +4,8 @@
 //! hbm-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!           [--threads N] [--manifest-dir DIR] [--state-dir DIR]
 //!           [--max-experiments N] [--experiment-ttl SECS]
-//!           [--max-step-slots N] [--timings]
+//!           [--max-step-slots N] [--max-branches N]
+//!           [--max-branch-slots N] [--timings]
 //! ```
 //!
 //! Runs until killed. See `docs/SERVICE.md` for the endpoint reference
@@ -16,7 +17,7 @@ use hbm_serve::{declare_spans, ServeConfig, Server};
 
 const USAGE: &str = "usage: hbm-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
 [--threads N] [--manifest-dir DIR] [--state-dir DIR] [--max-experiments N] \
-[--experiment-ttl SECS] [--max-step-slots N] [--timings]
+[--experiment-ttl SECS] [--max-step-slots N] [--max-branches N] [--max-branch-slots N] [--timings]
   --addr HOST:PORT      listen address (default 127.0.0.1:7070)
   --workers N           scenario worker threads (default: available cores - 1, min 1)
   --queue N             bounded request queue capacity (default 32)
@@ -27,6 +28,8 @@ const USAGE: &str = "usage: hbm-serve [--addr HOST:PORT] [--workers N] [--queue 
   --max-experiments N   live-experiment capacity; creates beyond it answer 429 (default 64)
   --experiment-ttl SECS evict experiments idle longer than SECS (default: never)
   --max-step-slots N    largest slots one step request may ask for (default 1000000)
+  --max-branches N      what-if branch capacity per experiment (default 16)
+  --max-branch-slots N  largest slots one branch-step request may ask for (default 100000)
   --timings             enable kernel timing spans (reported via logs on exit)";
 
 struct Args {
@@ -97,6 +100,16 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                 args.config.max_step_slots = take("--max-step-slots")?
                     .parse()
                     .map_err(|e| format!("--max-step-slots: {e}"))?
+            }
+            "--max-branches" => {
+                args.config.max_branches = take("--max-branches")?
+                    .parse()
+                    .map_err(|e| format!("--max-branches: {e}"))?
+            }
+            "--max-branch-slots" => {
+                args.config.max_branch_slots = take("--max-branch-slots")?
+                    .parse()
+                    .map_err(|e| format!("--max-branch-slots: {e}"))?
             }
             "--timings" => args.timings = true,
             other => return Err(format!("unknown flag {other:?}")),

@@ -63,6 +63,7 @@ pub mod queue;
 pub mod routes;
 mod server;
 pub mod store;
+pub mod writer;
 
 pub use server::{declare_spans, ServeConfig, Server, ServerHandle};
 

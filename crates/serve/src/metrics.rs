@@ -32,6 +32,10 @@ pub struct ServeMetrics {
     pub experiment_slots: AtomicU64,
     /// Applied perturbations.
     pub experiment_perturbs: AtomicU64,
+    /// Branches created (`POST …/fork` answered `200`).
+    pub experiment_forks: AtomicU64,
+    /// Completed lockstep branch-step operations.
+    pub experiment_branch_steps: AtomicU64,
 }
 
 impl ServeMetrics {

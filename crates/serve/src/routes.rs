@@ -54,6 +54,18 @@ pub const ROUTES: &[Route] = &[
         methods: &["POST"],
     },
     Route {
+        pattern: "/v1/experiments/{id}/fork",
+        methods: &["POST"],
+    },
+    Route {
+        pattern: "/v1/experiments/{id}/branches",
+        methods: &["GET", "DELETE"],
+    },
+    Route {
+        pattern: "/v1/experiments/{id}/branches/step",
+        methods: &["POST"],
+    },
+    Route {
         pattern: "/v1/experiments/{id}/state",
         methods: &["GET"],
     },

@@ -66,6 +66,12 @@ pub struct ServeConfig {
     /// Largest `slots` one step request may ask for; larger requests are
     /// rejected with `413` so a single op cannot pin a worker for long.
     pub max_step_slots: u64,
+    /// Maximum what-if branches per experiment; forks beyond this answer
+    /// `429`.
+    pub max_branches: usize,
+    /// Largest cumulative slot horizon the branches of one experiment may
+    /// advance; branch steps beyond it answer `413`.
+    pub max_branch_slots: u64,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +88,8 @@ impl Default for ServeConfig {
             max_experiments: 64,
             experiment_ttl: None,
             max_step_slots: 1_000_000,
+            max_branches: 16,
+            max_branch_slots: 100_000,
         }
     }
 }
@@ -105,6 +113,17 @@ enum JobKind {
         id: String,
         perturbation: Perturbation,
     },
+    /// Add a branch to an experiment's what-if tree (rooting the tree at
+    /// the current state on the first fork).
+    ExperimentFork {
+        id: String,
+        label: Option<String>,
+        perturbation: Perturbation,
+    },
+    /// Advance every branch of an experiment's tree in lockstep.
+    ExperimentBranchStep { id: String, slots: u64 },
+    /// Drop an experiment's branch tree.
+    ExperimentBranchDelete { id: String },
     /// Delete an experiment and its on-disk state.
     ExperimentDelete { id: String },
 }
@@ -183,6 +202,8 @@ impl Server {
             SupervisorConfig {
                 max_experiments: config.max_experiments,
                 ttl: config.experiment_ttl,
+                max_branches: config.max_branches,
+                max_branch_slots: config.max_branch_slots,
             },
             store,
         );
@@ -249,6 +270,10 @@ impl Server {
         for worker in pool {
             let _ = worker.join();
         }
+        // Drain the write-behind checkpoint queue before reporting an
+        // orderly shutdown: everything stepped is on disk when run()
+        // returns.
+        self.shared.supervisor.flush();
         Ok(())
     }
 }
@@ -335,6 +360,26 @@ fn dispatch(
         ("POST", "/v1/experiments/{id}/perturb") => {
             experiment_perturb(shared, id.expect("route binds id"), request, stream)
         }
+        ("POST", "/v1/experiments/{id}/fork") => {
+            experiment_fork(shared, id.expect("route binds id"), request, stream)
+        }
+        ("POST", "/v1/experiments/{id}/branches/step") => {
+            experiment_branch_step(shared, id.expect("route binds id"), request, stream)
+        }
+        ("GET", "/v1/experiments/{id}/branches") => {
+            sweep_experiments(shared);
+            match shared.supervisor.branches_of(&id.expect("route binds id")) {
+                Ok(report) => respond(&mut stream, 200, format!("{report}\n").as_bytes()),
+                Err(e) => respond_api_error(shared, &mut stream, e),
+            }
+        }
+        ("DELETE", "/v1/experiments/{id}/branches") => enqueue(
+            shared,
+            JobKind::ExperimentBranchDelete {
+                id: id.expect("route binds id"),
+            },
+            stream,
+        ),
         ("GET", "/v1/experiments/{id}/state") => {
             sweep_experiments(shared);
             match shared.supervisor.state_of(&id.expect("route binds id")) {
@@ -497,10 +542,9 @@ fn experiment_create(shared: &Shared, request: Request, mut stream: TcpStream) {
     }
 }
 
-/// Validates a step body (`{"slots": N}`, `1 ..= max_step_slots`) and
-/// enqueues the step.
-fn experiment_step(shared: &Shared, id: String, request: Request, mut stream: TcpStream) {
-    let parsed = std::str::from_utf8(&request.body)
+/// Parses a `{"slots": N}` body, `N ≥ 1` and integral.
+fn parse_slots_body(body: &[u8]) -> Result<u64, String> {
+    std::str::from_utf8(body)
         .map_err(|_| "body is not valid UTF-8".to_string())
         .and_then(|body| hbm_telemetry::json::parse_flat_object(body.trim()))
         .and_then(|fields| {
@@ -517,13 +561,22 @@ fn experiment_step(shared: &Shared, id: String, request: Request, mut stream: Tc
                 }
             }
             slots.ok_or_else(|| "missing required field \"slots\"".to_string())
-        });
-    let slots = match parsed {
+        })
+}
+
+/// Validates a slots body against `max_step_slots`, answering `400`/`413`
+/// itself; `Some(slots, stream)` when the job should be enqueued.
+fn validated_slots(
+    shared: &Shared,
+    request: &Request,
+    mut stream: TcpStream,
+) -> Option<(u64, TcpStream)> {
+    let slots = match parse_slots_body(&request.body) {
         Ok(slots) => slots,
         Err(message) => {
             ServeMetrics::bump(&shared.metrics.bad_requests);
             let _ = http::write_response(&mut stream, 400, &[], &http::error_body(&message));
-            return;
+            return None;
         }
     };
     if slots > shared.config.max_step_slots {
@@ -537,9 +590,88 @@ fn experiment_step(shared: &Shared, id: String, request: Request, mut stream: Tc
                 shared.config.max_step_slots
             )),
         );
-        return;
+        return None;
     }
-    enqueue(shared, JobKind::ExperimentStep { id, slots }, stream);
+    Some((slots, stream))
+}
+
+/// Validates a step body (`{"slots": N}`, `1 ..= max_step_slots`) and
+/// enqueues the step.
+fn experiment_step(shared: &Shared, id: String, request: Request, stream: TcpStream) {
+    if let Some((slots, stream)) = validated_slots(shared, &request, stream) {
+        enqueue(shared, JobKind::ExperimentStep { id, slots }, stream);
+    }
+}
+
+/// Validates a branch-step body (same shape and limit as a step) and
+/// enqueues the lockstep branch step.
+fn experiment_branch_step(shared: &Shared, id: String, request: Request, stream: TcpStream) {
+    if let Some((slots, stream)) = validated_slots(shared, &request, stream) {
+        enqueue(shared, JobKind::ExperimentBranchStep { id, slots }, stream);
+    }
+}
+
+/// Validates a fork body — an optional `label` plus [`Perturbation`]
+/// fields, all optional (an empty body forks the control branch) — and
+/// enqueues the fork.
+fn experiment_fork(shared: &Shared, id: String, request: Request, mut stream: TcpStream) {
+    let parsed = std::str::from_utf8(&request.body)
+        .map_err(|_| "body is not valid UTF-8".to_string())
+        .and_then(|body| {
+            let body = body.trim();
+            if body.is_empty() {
+                return Ok((None, Perturbation::default()));
+            }
+            let fields = hbm_telemetry::json::parse_flat_object(body)?;
+            let mut label = None;
+            let mut p = Perturbation::default();
+            for (key, value) in fields {
+                let number = |value: &hbm_telemetry::json::JsonValue, key: &str| {
+                    value
+                        .as_f64()
+                        .ok_or_else(|| format!("{key} must be a number"))
+                };
+                match key.as_str() {
+                    "label" => {
+                        let v = value
+                            .as_str()
+                            .ok_or_else(|| "label must be a string".to_string())?;
+                        let ok = !v.is_empty()
+                            && v.len() <= 64
+                            && v.chars()
+                                .all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c));
+                        if !ok {
+                            return Err(
+                                "label must be 1-64 characters of [A-Za-z0-9._-]".to_string()
+                            );
+                        }
+                        label = Some(v.to_string());
+                    }
+                    "utilization" => p.utilization = Some(number(&value, "utilization")?),
+                    "attack_load_kw" => p.attack_load_kw = Some(number(&value, "attack_load_kw")?),
+                    "battery_kwh" => p.battery_kwh = Some(number(&value, "battery_kwh")?),
+                    "threshold_c" => p.threshold_c = Some(number(&value, "threshold_c")?),
+                    "cap_w" => p.cap_w = Some(number(&value, "cap_w")?),
+                    other => return Err(format!("unknown field {other:?}")),
+                }
+            }
+            Ok((label, p))
+        });
+    match parsed {
+        Ok((label, perturbation)) => enqueue(
+            shared,
+            JobKind::ExperimentFork {
+                id,
+                label,
+                perturbation,
+            },
+            stream,
+        ),
+        Err(message) => {
+            ServeMetrics::bump(&shared.metrics.bad_requests);
+            let _ = http::write_response(&mut stream, 400, &[], &http::error_body(&message));
+        }
+    }
 }
 
 /// Validates a perturb body ([`Perturbation`] flat JSON, at least one
@@ -724,6 +856,50 @@ fn run_experiment_job(shared: &Shared, kind: JobKind, stream: &mut TcpStream) {
                 Err(e) => respond_api_error(shared, stream, e),
             }
         }
+        JobKind::ExperimentFork {
+            id,
+            label,
+            perturbation,
+        } => match shared.supervisor.fork(&id, label, &perturbation) {
+            Ok(outcome) => {
+                ServeMetrics::bump(&shared.metrics.experiment_forks);
+                let mut o = JsonObject::new();
+                o.str("id", &outcome.id)
+                    .u64("branch", outcome.branch)
+                    .str("label", &outcome.label)
+                    .u64("fork_slot", outcome.fork_slot)
+                    .u64("branches", outcome.branches);
+                let body = o.finish() + "\n";
+                let _ = http::write_response(stream, 200, &[], body.as_bytes());
+            }
+            Err(e) => respond_api_error(shared, stream, e),
+        },
+        JobKind::ExperimentBranchStep { id, slots } => {
+            match shared.supervisor.branch_step(&id, slots) {
+                Ok(outcome) => {
+                    ServeMetrics::bump(&shared.metrics.experiment_branch_steps);
+                    let mut o = JsonObject::new();
+                    o.str("id", &outcome.id)
+                        .u64("stepped", outcome.stepped)
+                        .u64("branches", outcome.branches);
+                    if let Some(slot) = outcome.first_divergence {
+                        o.u64("first_divergence", slot);
+                    }
+                    let body = o.finish() + "\n";
+                    let _ = http::write_response(stream, 200, &[], body.as_bytes());
+                }
+                Err(e) => respond_api_error(shared, stream, e),
+            }
+        }
+        JobKind::ExperimentBranchDelete { id } => match shared.supervisor.branch_delete(&id) {
+            Ok(branches) => {
+                let mut o = JsonObject::new();
+                o.str("id", &id).u64("deleted_branches", branches);
+                let body = o.finish() + "\n";
+                let _ = http::write_response(stream, 200, &[], body.as_bytes());
+            }
+            Err(e) => respond_api_error(shared, stream, e),
+        },
         JobKind::ExperimentDelete { id } => match shared.supervisor.delete(&id) {
             Ok(()) => {
                 ServeMetrics::bump(&shared.metrics.experiments_deleted);
@@ -880,6 +1056,18 @@ fn metrics_body(shared: &Shared, workers: usize) -> Vec<u8> {
     .u64(
         "experiment_perturbs",
         ServeMetrics::get(&shared.metrics.experiment_perturbs),
+    )
+    .u64(
+        "experiment_forks",
+        ServeMetrics::get(&shared.metrics.experiment_forks),
+    )
+    .u64(
+        "experiment_branch_steps",
+        ServeMetrics::get(&shared.metrics.experiment_branch_steps),
+    )
+    .u64(
+        "checkpoint_failures",
+        shared.supervisor.checkpoint_failures(),
     );
     let mut body = o.finish().into_bytes();
     body.push(b'\n');

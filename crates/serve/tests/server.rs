@@ -513,6 +513,134 @@ fn experiment_lifecycle_over_http() {
 }
 
 #[test]
+fn fork_and_branch_endpoints_over_http() {
+    let (addr, handle, thread) = boot(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+
+    let (status, _, body) = req(addr, "POST", "/v1/experiments", EXP_SCENARIO);
+    assert_eq!(status, 201, "body: {body}");
+    let id = json_str(&body, "id");
+    let (status, _, _) = req(
+        addr,
+        "POST",
+        &format!("/v1/experiments/{id}/step"),
+        "{\"slots\":300}",
+    );
+    assert_eq!(status, 200);
+
+    // Before any fork: no branch report, and branch-stepping is a conflict.
+    let (status, _, _) = get(addr, &format!("/v1/experiments/{id}/branches"));
+    assert_eq!(status, 404);
+    let (status, _, _) = req(
+        addr,
+        "POST",
+        &format!("/v1/experiments/{id}/branches/step"),
+        "{\"slots\":10}",
+    );
+    assert_eq!(status, 409);
+
+    // An empty body forks a control branch at the current slot.
+    let (status, _, body) = req(addr, "POST", &format!("/v1/experiments/{id}/fork"), "");
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(json_u64(&body, "branch"), 0);
+    assert_eq!(json_str(&body, "label"), "branch-0");
+    assert_eq!(json_u64(&body, "fork_slot"), 300);
+    assert_eq!(json_u64(&body, "branches"), 1);
+
+    // A labeled variant branch forks from the same pinned slot.
+    let (status, _, body) = req(
+        addr,
+        "POST",
+        &format!("/v1/experiments/{id}/fork"),
+        "{\"label\":\"hot\",\"attack_load_kw\":3.0,\"battery_kwh\":1.0}",
+    );
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(json_str(&body, "label"), "hot");
+    assert_eq!(json_u64(&body, "fork_slot"), 300);
+    assert_eq!(json_u64(&body, "branches"), 2);
+
+    // Bad forks fail fast and do not disturb the tree.
+    let (status, _, _) = req(
+        addr,
+        "POST",
+        &format!("/v1/experiments/{id}/fork"),
+        "{\"label\":\"no spaces!\"}",
+    );
+    assert_eq!(status, 400);
+    let (status, _, _) = req(
+        addr,
+        "POST",
+        &format!("/v1/experiments/{id}/fork"),
+        "{\"bogus\":1}",
+    );
+    assert_eq!(status, 400);
+    let (status, _, _) = req(addr, "POST", "/v1/experiments/exp-999999/fork", "");
+    assert_eq!(status, 404);
+
+    // Lockstep-step both branches a day; the variant must diverge.
+    let (status, _, body) = req(
+        addr,
+        "POST",
+        &format!("/v1/experiments/{id}/branches/step"),
+        "{\"slots\":1440}",
+    );
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(json_u64(&body, "stepped"), 1440);
+    assert_eq!(json_u64(&body, "branches"), 2);
+    let diverged_at = json_u64(&body, "first_divergence");
+    assert!(
+        diverged_at >= 300,
+        "divergence at/after the fork slot: {body}"
+    );
+
+    // The comparison report reads inline.
+    let (status, _, report) = get(addr, &format!("/v1/experiments/{id}/branches"));
+    assert_eq!(status, 200, "report: {report}");
+    assert_eq!(json_u64(&report, "fork_slot"), 300);
+    assert_eq!(json_u64(&report, "branches"), 2);
+    assert_eq!(json_u64(&report, "slots_run"), 1440);
+    assert_eq!(json_u64(&report, "first_divergence"), diverged_at);
+    assert!(report.contains("\"labels\":[\"branch-0\",\"hot\"]"));
+    assert!(report.contains("\"attack_slots\":["));
+    assert!(report.contains("\"battery_soc\":["));
+
+    // The trunk never moved.
+    let (status, _, metrics) = get(addr, &format!("/v1/experiments/{id}/metrics"));
+    assert_eq!(status, 200);
+    assert_eq!(json_u64(&metrics, "slots"), 300);
+
+    // Discarding branches frees the tree; a second delete is a 404.
+    let (status, _, body) = req(
+        addr,
+        "DELETE",
+        &format!("/v1/experiments/{id}/branches"),
+        "",
+    );
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(json_u64(&body, "deleted_branches"), 2);
+    let (status, _, _) = req(
+        addr,
+        "DELETE",
+        &format!("/v1/experiments/{id}/branches"),
+        "",
+    );
+    assert_eq!(status, 404);
+    let (status, _, _) = get(addr, &format!("/v1/experiments/{id}/branches"));
+    assert_eq!(status, 404);
+
+    // The daemon counters saw the branch traffic.
+    let (_, _, metrics) = get(addr, "/v1/metrics");
+    assert_eq!(json_u64(&metrics, "experiment_forks"), 2);
+    assert_eq!(json_u64(&metrics, "experiment_branch_steps"), 1);
+    assert_eq!(json_u64(&metrics, "checkpoint_failures"), 0);
+
+    handle.stop();
+    thread.join().unwrap();
+}
+
+#[test]
 fn kill_and_restore_continues_bit_identically() {
     // The tentpole guarantee: kill the daemon mid-experiment, reboot on
     // the same state dir, finish stepping — the final metrics body must be

@@ -76,7 +76,7 @@ impl SideChannelConfig {
 /// let err = sc.estimate(Power::from_kilowatts(5.0)) - Power::from_kilowatts(5.0);
 /// assert!(err.abs() < Power::from_kilowatts(0.5));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VoltageSideChannel {
     config: SideChannelConfig,
     rng: StdRng,

@@ -1,7 +1,10 @@
 #!/bin/sh
 # Runs the thermal hot-path benchmarks and exports the results as
-# BENCH_thermal.json (a JSON array of {name, median_ns, mean_ns, min_ns,
-# samples} objects), then prints the headline comparisons:
+# BENCH_thermal.json (a JSON array of flat objects; criterion entries are
+# {name, median_ns, mean_ns, min_ns, samples}, serve latency entries add
+# p99_ns, and single-value entries like serve/session_slot_ns and
+# serve/throughput carry one honestly-named field right after name), then
+# prints the headline comparisons:
 #
 #   * CFD substep: flat buffers vs the nested-Vec baseline
 #   * heat-matrix model step
@@ -18,6 +21,9 @@ set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 out=${1:-"$repo_root/BENCH_thermal.json"}
+# The bench binary runs with the package dir as its CWD, so a relative
+# output path must be absolutized here or BENCH_JSON lands in crates/bench.
+case $out in /*) ;; *) out="$PWD/$out" ;; esac
 
 cd "$repo_root"
 BENCH_JSON="$out" cargo bench -p hbm-bench --bench bench_thermal
@@ -76,13 +82,22 @@ fold_json "$session_json"
 echo ""
 echo "wrote $out"
 
-# Headline ratios, straight from the JSON (median_ns fields).
+# Headline ratios, straight from the JSON. Every entry's headline value
+# is the first field after "name" (median_ns for latency entries,
+# slot_ns/requests_per_sec for the single-value serve entries); latency
+# entries additionally carry an honest p99_ns.
 awk -F'"' '
     /"name"/ {
-        # With FS set to a double quote: $4 = name, $7 = ": <median_ns>, ".
+        # With FS set to a double quote: $4 = name, $7 = ": <value>, ".
         name = $4
         split($7, parts, /[ :,]+/)
         median[name] = parts[2] + 0
+        for (i = 5; i < NF; i++) {
+            if ($i == "p99_ns") {
+                split($(i + 1), parts, /[ :,]+/)
+                p99ns[name] = parts[2] + 0
+            }
+        }
     }
     END {
         flat = median["cfd_step_one_minute_40_servers"]
@@ -128,19 +143,23 @@ awk -F'"' '
             printf "in-situ zone.step span (fig9 run): %.2f us/call\n", zone / 1000
         tput = median["serve/throughput"]
         if (tput > 0)
-            printf "hbm-serve cache-warm throughput: %.0f req/s\n", 1e9 / tput
+            printf "hbm-serve cache-warm throughput: %.0f req/s\n", tput
         lat = median["serve/simulate_latency"]
-        p99 = median["serve/simulate_latency_p99"]
-        if (lat > 0 && p99 > 0)
+        if (lat > 0 && p99ns["serve/simulate_latency"] > 0)
             printf "hbm-serve request latency: p50 %.3f ms, p99 %.3f ms\n",
-                lat / 1e6, p99 / 1e6
+                lat / 1e6, p99ns["serve/simulate_latency"] / 1e6
         slat = median["serve/session_step_latency"]
-        sp99 = median["serve/session_step_latency_p99"]
-        if (slat > 0 && sp99 > 0)
+        if (slat > 0 && p99ns["serve/session_step_latency"] > 0)
             printf "hbm-serve sessionful step (120 slots, checkpointed): p50 %.3f ms, p99 %.3f ms\n",
-                slat / 1e6, sp99 / 1e6
+                slat / 1e6, p99ns["serve/session_step_latency"] / 1e6
         sns = median["serve/session_slot_ns"]
         if (sns > 0)
-            printf "hbm-serve sessionful throughput: %.2fM slots/s aggregate\n", 1e3 / sns
+            printf "hbm-serve sessionful throughput: %.2fM slots/s aggregate (%.0f ns/slot)\n",
+                1e3 / sns, sns
+        fork = median["fork_vs_rerun/fork"]
+        rerun = median["fork_vs_rerun/rerun"]
+        if (fork > 0 && rerun > 0)
+            printf "what-if fork (+60 slots) vs rerun-from-0 (7260 slots): %.3f ms vs %.1f ms  ->  %.0fx cheaper\n",
+                fork / 1e6, rerun / 1e6, rerun / fork
     }
 ' "$out"

@@ -2,10 +2,13 @@
 # CI perf guard: fails when a guarded benchmark entry in a fresh (smoke)
 # run regresses more than MAX_RATIO versus the pinned reference JSON.
 #
-# Guarded entries are the two headline throughput medians:
+# Guarded entries are the headline hot-path numbers:
 #
-#   * sim_step_slots_per_sec/recorder_off  (single-scenario steady loop)
-#   * fleet_slots_per_sec/batched          (batched fleet engine)
+#   * sim_step_slots_per_sec/recorder_off  (single-scenario steady loop, median_ns)
+#   * fleet_slots_per_sec/batched          (batched fleet engine, median_ns)
+#   * serve/session_slot_ns                (sessionful serving, slot_ns)
+#   * fork_vs_rerun/fork                   (what-if fork cost, median_ns)
+#   * fork_vs_rerun/rerun                  (rerun-from-0 baseline, median_ns)
 #
 # Smoke runs on shared CI runners are noisy, hence the wide default
 # guardband (2x): the guard catches structural regressions — lost
@@ -20,32 +23,48 @@ fresh=$1
 pinned=${2:-BENCH_thermal.json}
 max=${3:-2.0}
 
-# Prints the median_ns of the named entry in a bench JSON, empty if absent.
-median_of() {
-    awk -F'"' -v want="$2" '
+# Prints the value of field `key` ($3) in the entry named `name` ($2) of
+# the bench JSON `file` ($1); empty if the entry or field is absent.
+field_of() {
+    awk -F'"' -v want="$2" -v key="$3" '
         /"name"/ && $4 == want {
-            split($7, parts, /[ :,]+/)
-            print parts[2] + 0
-            exit
+            for (i = 5; i < NF; i++) {
+                if ($i == key) {
+                    split($(i + 1), parts, /[ :,]+/)
+                    print parts[2] + 0
+                    exit
+                }
+            }
         }
     ' "$1"
 }
 
 status=0
-for name in "sim_step_slots_per_sec/recorder_off" "fleet_slots_per_sec/batched"; do
-    ref=$(median_of "$pinned" "$name")
-    new=$(median_of "$fresh" "$name")
+
+# guard <entry-name> <field-key>: compare fresh vs pinned, flag >max ratio.
+guard() {
+    name=$1
+    key=$2
+    ref=$(field_of "$pinned" "$name" "$key")
+    new=$(field_of "$fresh" "$name" "$key")
     if [ -z "$ref" ] || [ -z "$new" ]; then
-        echo "perf guard: entry '$name' missing (pinned='${ref:-}', fresh='${new:-}')" >&2
+        echo "perf guard: '$name' field '$key' missing (pinned='${ref:-}', fresh='${new:-}')" >&2
         status=1
-        continue
+        return
     fi
     ratio=$(awk -v a="$new" -v b="$ref" 'BEGIN { printf "%.3f", a / b }')
     if awk -v r="$ratio" -v m="$max" 'BEGIN { exit !(r <= m) }'; then
-        echo "perf guard: $name at ${ratio}x of pinned median (limit ${max}x) - ok"
+        echo "perf guard: $name $key at ${ratio}x of pinned (limit ${max}x) - ok"
     else
-        echo "perf guard: $name regressed to ${ratio}x of pinned median (limit ${max}x)" >&2
+        echo "perf guard: $name $key regressed to ${ratio}x of pinned (limit ${max}x)" >&2
         status=1
     fi
-done
+}
+
+guard "sim_step_slots_per_sec/recorder_off" median_ns
+guard "fleet_slots_per_sec/batched" median_ns
+guard "serve/session_slot_ns" slot_ns
+guard "fork_vs_rerun/fork" median_ns
+guard "fork_vs_rerun/rerun" median_ns
+
 exit $status
