@@ -1,0 +1,315 @@
+//! `experiments surrogate ...` — fit, validate, and error-sweep the
+//! polynomial surrogate tier (see `docs/SURROGATE.md`).
+//!
+//! `fit` samples CFD-lite extractions over a knob grid, fits the
+//! ridge-regression surrogate with a held-out error bound, and writes the
+//! `hbm-surrogate-v1` artifact `hbm-serve --surrogate` loads. `validate`
+//! re-measures the artifact's error against fresh extractions at off-grid
+//! points. `sweep` writes a per-query error CSV over (and slightly
+//! beyond) the trust region.
+
+use hbm_surrogate::{
+    ExtractionSettings, FitOptions, SurrogateDomain, SurrogateModel, SurrogateQuery,
+};
+use hbm_thermal::CfdConfig;
+use hbm_units::{Duration, Power};
+
+use crate::common::Options;
+
+pub const USAGE: &str =
+    "usage: experiments surrogate fit --model FILE [--grid N] [--holdout N] [--lambda F]
+           [--racks N] [--servers-per-rack N] [--baseline-lo W] [--baseline-hi W]
+           [--supply-lo C] [--supply-hi C] [--leakage-lo F] [--leakage-hi F]
+       experiments surrogate validate --model FILE [--points N]
+       experiments surrogate sweep --model FILE --csv FILE [--points N]
+  fit       sample extractions on a grid³, fit the surrogate, write the artifact
+  validate  re-measure prediction error vs fresh extraction at off-grid points
+  sweep     write a per-query error CSV over the domain and 20% beyond each edge
+  --model FILE           the hbm-surrogate-v1 artifact to write (fit) or read
+  --grid N               grid points per knob axis (default 5)
+  --holdout N            hold out every N-th grid point for validation (default 3)
+  --lambda F             ridge penalty (default 1e-8)
+  --racks N              container racks (default 1)
+  --servers-per-rack N   servers per rack (default 4)
+  --baseline-lo/hi W     per-server baseline power range (default 100..200)
+  --supply-lo/hi C       cooling supply setpoint range (default 24..30)
+  --leakage-lo/hi F      containment leakage range (default 0.02..0.12)
+  --points N             probe points per axis for validate/sweep (default 4/6)
+  --csv FILE             sweep output file";
+
+/// Flags shared by `fit`'s geometry/domain and reused as probe settings.
+struct FitArgs {
+    model: Option<String>,
+    grid: usize,
+    holdout: usize,
+    lambda: f64,
+    racks: usize,
+    servers_per_rack: usize,
+    lo: [f64; 3],
+    hi: [f64; 3],
+    points: usize,
+    csv: Option<String>,
+}
+
+impl FitArgs {
+    fn parse(args: &[String], default_points: usize) -> Result<FitArgs, String> {
+        let mut out = FitArgs {
+            model: None,
+            grid: 5,
+            holdout: 3,
+            lambda: 1e-8,
+            racks: 1,
+            servers_per_rack: 4,
+            lo: [100.0, 24.0, 0.02],
+            hi: [200.0, 30.0, 0.12],
+            points: default_points,
+            csv: None,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut take = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            fn num<T: std::str::FromStr>(name: &str, value: String) -> Result<T, String>
+            where
+                T::Err: std::fmt::Display,
+            {
+                value.parse().map_err(|e| format!("{name}: {e}"))
+            }
+            match arg.as_str() {
+                "--model" => out.model = Some(take("--model")?),
+                "--grid" => out.grid = num("--grid", take("--grid")?)?,
+                "--holdout" => out.holdout = num("--holdout", take("--holdout")?)?,
+                "--lambda" => out.lambda = num("--lambda", take("--lambda")?)?,
+                "--racks" => out.racks = num("--racks", take("--racks")?)?,
+                "--servers-per-rack" => {
+                    out.servers_per_rack = num("--servers-per-rack", take("--servers-per-rack")?)?
+                }
+                "--baseline-lo" => out.lo[0] = num("--baseline-lo", take("--baseline-lo")?)?,
+                "--baseline-hi" => out.hi[0] = num("--baseline-hi", take("--baseline-hi")?)?,
+                "--supply-lo" => out.lo[1] = num("--supply-lo", take("--supply-lo")?)?,
+                "--supply-hi" => out.hi[1] = num("--supply-hi", take("--supply-hi")?)?,
+                "--leakage-lo" => out.lo[2] = num("--leakage-lo", take("--leakage-lo")?)?,
+                "--leakage-hi" => out.hi[2] = num("--leakage-hi", take("--leakage-hi")?)?,
+                "--points" => out.points = num("--points", take("--points")?)?,
+                "--csv" => out.csv = Some(take("--csv")?),
+                other => return Err(format!("unknown surrogate argument {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn model(&self) -> Result<&str, String> {
+        self.model
+            .as_deref()
+            .ok_or_else(|| "surrogate requires --model FILE".into())
+    }
+}
+
+/// The extraction probe every artifact in this CLI uses: the same 120 W
+/// spike over a 5-minute window at 1-minute lags as the extraction
+/// goldens and the pinned `matrix/heat_matrix_extraction` bench.
+fn settings(racks: usize, servers_per_rack: usize) -> ExtractionSettings {
+    ExtractionSettings {
+        config: CfdConfig {
+            racks,
+            servers_per_rack,
+            ..CfdConfig::paper_default()
+        },
+        spike: Power::from_watts(120.0),
+        window: Duration::from_minutes(5.0),
+        lag_step: Duration::from_minutes(1.0),
+    }
+}
+
+/// Max absolute prediction error vs a fresh extraction at `q`, as
+/// `(inlet °C, response K/W)`.
+fn query_errors(model: &SurrogateModel, q: &SurrogateQuery) -> Result<(f64, f64), String> {
+    let predicted = model.predict(q);
+    let truth = model.settings().extract(q)?;
+    let mut inlet = 0.0f64;
+    for (p, t) in predicted
+        .baseline_inlets_celsius()
+        .iter()
+        .zip(truth.baseline_inlets_celsius())
+    {
+        inlet = inlet.max((p - t).abs());
+    }
+    let mut resp = 0.0f64;
+    let n = model.server_count();
+    for s in 0..n {
+        for r in 0..n {
+            for l in 0..model.lag_count() {
+                let d = predicted.matrix().response(s, r, l) - truth.matrix().response(s, r, l);
+                resp = resp.max(d.abs());
+            }
+        }
+    }
+    Ok((inlet, resp))
+}
+
+fn read_model(path: &str) -> Result<SurrogateModel, String> {
+    let line = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    SurrogateModel::from_flat_json(line.trim()).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run_fit(args: &FitArgs) -> Result<(), String> {
+    let path = args.model()?;
+    let domain = SurrogateDomain {
+        lo: args.lo,
+        hi: args.hi,
+    };
+    let model = SurrogateModel::fit(
+        settings(args.racks, args.servers_per_rack),
+        domain,
+        FitOptions {
+            grid_points: args.grid,
+            holdout_every: args.holdout,
+            lambda: args.lambda,
+        },
+    )?;
+    if let Some(parent) = std::path::Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(parent).map_err(|e| format!("cannot create {path}: {e}"))?;
+    }
+    std::fs::write(path, model.to_flat_json() + "\n")
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    let (train, holdout) = model.sample_counts();
+    println!("surrogate fit: {path}");
+    println!(
+        "  servers {}  lags {}  grid {}^3 ({train} train + {holdout} holdout extractions)",
+        model.server_count(),
+        model.lag_count(),
+        args.grid,
+    );
+    println!(
+        "  inlet error bound    max {:.3e} °C   mean {:.3e} °C",
+        model.max_abs_err_inlet_c(),
+        model.mean_abs_err_inlet_c(),
+    );
+    println!(
+        "  response error bound max {:.3e} K/W  mean {:.3e} K/W",
+        model.max_abs_err_response(),
+        model.mean_abs_err_response(),
+    );
+    Ok(())
+}
+
+fn run_validate(args: &FitArgs) -> Result<(), String> {
+    let model = read_model(args.model()?)?;
+    let points = args.points.max(1);
+    let domain = *model.domain();
+    // Probe cell centers: offset half a step from the training grid, so
+    // every probe is an off-grid point the fit never saw.
+    let axis = |i: usize, step: usize| -> f64 {
+        domain.lo[i] + (domain.hi[i] - domain.lo[i]) * (step as f64 + 0.5) / points as f64
+    };
+    let (mut max_inlet, mut max_resp) = (0.0f64, 0.0f64);
+    for i in 0..points {
+        for j in 0..points {
+            for k in 0..points {
+                let q = SurrogateQuery {
+                    baseline_w: axis(0, i),
+                    supply_c: axis(1, j),
+                    leakage: axis(2, k),
+                };
+                let (inlet, resp) = query_errors(&model, &q)?;
+                max_inlet = max_inlet.max(inlet);
+                max_resp = max_resp.max(resp);
+            }
+        }
+    }
+    println!(
+        "surrogate validate: {} off-grid probes ({points}^3)",
+        points * points * points
+    );
+    println!(
+        "  inlet error    max {max_inlet:.3e} °C   (stored holdout bound {:.3e} °C)",
+        model.max_abs_err_inlet_c()
+    );
+    println!(
+        "  response error max {max_resp:.3e} K/W  (stored holdout bound {:.3e} K/W)",
+        model.max_abs_err_response()
+    );
+    Ok(())
+}
+
+fn run_sweep(args: &FitArgs) -> Result<(), String> {
+    let model = read_model(args.model()?)?;
+    let path = args
+        .csv
+        .as_deref()
+        .ok_or_else(|| String::from("sweep requires --csv FILE"))?;
+    let points = args.points.max(2);
+    let domain = *model.domain();
+    // Sweep 20% beyond each edge so the CSV shows where the trust region
+    // ends and what extrapolation would cost there.
+    let axis = |i: usize, step: usize| -> f64 {
+        let width = domain.hi[i] - domain.lo[i];
+        domain.lo[i] - 0.2 * width + 1.4 * width * step as f64 / (points - 1) as f64
+    };
+    let mut csv = String::from(
+        "baseline_w,supply_c,leakage,in_domain,max_abs_err_inlet_c,max_abs_err_response\n",
+    );
+    let mut rows = 0usize;
+    let mut skipped = 0usize;
+    for i in 0..points {
+        for j in 0..points {
+            for k in 0..points {
+                let q = SurrogateQuery {
+                    baseline_w: axis(0, i),
+                    supply_c: axis(1, j),
+                    leakage: axis(2, k).clamp(0.0, 0.49),
+                };
+                // Points past the physical envelope (e.g. supply above the
+                // derate onset) cannot be extracted; skip and report.
+                let (inlet, resp) = match query_errors(&model, &q) {
+                    Ok(errors) => errors,
+                    Err(_) => {
+                        skipped += 1;
+                        continue;
+                    }
+                };
+                csv.push_str(&format!(
+                    "{},{},{},{},{inlet},{resp}\n",
+                    q.baseline_w,
+                    q.supply_c,
+                    q.leakage,
+                    u8::from(domain.contains(&q)),
+                ));
+                rows += 1;
+            }
+        }
+    }
+    if let Some(parent) = std::path::Path::new(path)
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(parent).map_err(|e| format!("cannot create {path}: {e}"))?;
+    }
+    std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("surrogate sweep: {rows} rows -> {path}");
+    if skipped > 0 {
+        println!("  ({skipped} probe(s) past the physical envelope skipped)");
+    }
+    Ok(())
+}
+
+/// Entry point for `experiments surrogate <fit|validate|sweep> ...`.
+pub fn run_surrogate(_opts: &Options, args: &[String]) -> Result<(), String> {
+    let Some(sub) = args.first() else {
+        return Err("surrogate requires a subcommand: fit, validate, or sweep".into());
+    };
+    match sub.as_str() {
+        "fit" => run_fit(&FitArgs::parse(&args[1..], 4)?),
+        "validate" => run_validate(&FitArgs::parse(&args[1..], 4)?),
+        "sweep" => run_sweep(&FitArgs::parse(&args[1..], 6)?),
+        other => Err(format!(
+            "unknown surrogate subcommand {other:?} (expected fit, validate, or sweep)"
+        )),
+    }
+}

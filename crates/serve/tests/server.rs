@@ -162,6 +162,17 @@ fn golden_scenario_parity_cache_and_metrics() {
     assert_eq!(json_u64(&metrics, "cache_misses"), 1);
     assert!(json_u64(&metrics, "simulate_ok") >= 2);
     assert!(json_u64(&metrics, "requests_total") >= 3);
+    // Thermal-tier observability keys are always present (process-global
+    // counters, so only presence is asserted here).
+    json_u64(&metrics, "heat_matrix_cache_hits");
+    json_u64(&metrics, "heat_matrix_cache_misses");
+    json_u64(&metrics, "surrogate_hits");
+    json_u64(&metrics, "surrogate_misses");
+    json_u64(&metrics, "surrogate_fallbacks");
+    assert!(
+        metrics.contains("\"surrogate_bound_c\":"),
+        "metrics: {metrics}"
+    );
 
     handle.stop();
     thread.join().unwrap();
@@ -724,4 +735,95 @@ fn every_route_is_documented_in_service_md() {
             );
         }
     }
+}
+
+#[test]
+fn surrogate_tier_labels_responses_and_metrics() {
+    // Fit a tiny real surrogate whose trust region covers the paper
+    // default's per-server operating point (~130 W) and install it
+    // process-wide, exactly as `hbm-serve --surrogate` does.
+    let settings = hbm_surrogate::ExtractionSettings {
+        config: hbm_thermal::CfdConfig {
+            racks: 1,
+            servers_per_rack: 2,
+            ..hbm_thermal::CfdConfig::paper_default()
+        },
+        spike: hbm_units::Power::from_watts(120.0),
+        window: hbm_units::Duration::from_minutes(5.0),
+        lag_step: hbm_units::Duration::from_minutes(1.0),
+    };
+    let model = hbm_surrogate::SurrogateModel::fit(
+        settings,
+        hbm_surrogate::SurrogateDomain {
+            lo: [50.0, 25.0, 0.03],
+            hi: [250.0, 29.0, 0.10],
+        },
+        hbm_surrogate::FitOptions {
+            grid_points: 3,
+            holdout_every: 3,
+            lambda: 1e-8,
+        },
+    )
+    .expect("surrogate fits");
+    let bound = model.max_abs_err_inlet_c();
+    hbm_core::install_thermal_tier(Some(std::sync::Arc::new(
+        hbm_surrogate::TieredExtractor::with_model(model, f64::INFINITY),
+    )));
+
+    let (addr, handle, thread) = boot(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+
+    // Simulate: in-region, so the response is labeled as surrogate-tier.
+    let (status, headers, body) = post_simulate(
+        addr,
+        "{\"policy\":\"myopic\",\"days\":1,\"warmup_days\":0,\"seed\":3}",
+    );
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(header(&headers, "x-thermal-tier"), Some("surrogate"));
+
+    // Fork: the branch scenario consults the tier too.
+    let (status, _, body) = req(addr, "POST", "/v1/experiments", EXP_SCENARIO);
+    assert_eq!(status, 201, "body: {body}");
+    let id = json_str(&body, "id");
+    let (status, _, _) = req(
+        addr,
+        "POST",
+        &format!("/v1/experiments/{id}/step"),
+        "{\"slots\":10}",
+    );
+    assert_eq!(status, 200);
+    let (status, headers, body) = req(
+        addr,
+        "POST",
+        &format!("/v1/experiments/{id}/fork"),
+        "{\"label\":\"hot\",\"attack_load_kw\":2.0}",
+    );
+    assert_eq!(status, 200, "body: {body}");
+    assert_eq!(header(&headers, "x-thermal-tier"), Some("surrogate"));
+
+    // Metrics carry the tier counters and the model's bound. Counters are
+    // process-global (other tests' simulations may consult the tier while
+    // it is installed), so assert lower bounds, not exact values.
+    let (_, _, metrics) = get(addr, "/v1/metrics");
+    assert!(
+        json_u64(&metrics, "surrogate_hits") >= 2,
+        "metrics: {metrics}"
+    );
+    let bound_key = format!("\"surrogate_bound_c\":{bound}");
+    assert!(metrics.contains(&bound_key), "metrics: {metrics}");
+
+    // Uninstall: back to the tier-less default for the rest of the suite.
+    hbm_core::install_thermal_tier(None);
+    let (_, headers, _) = post_simulate(
+        addr,
+        "{\"policy\":\"myopic\",\"days\":1,\"warmup_days\":0,\"seed\":4}",
+    );
+    assert_eq!(header(&headers, "x-thermal-tier"), None);
+    let (_, _, metrics) = get(addr, "/v1/metrics");
+    assert_eq!(json_u64(&metrics, "surrogate_bound_c"), 0);
+
+    handle.stop();
+    thread.join().unwrap();
 }

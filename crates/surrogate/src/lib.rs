@@ -1,0 +1,86 @@
+//! Error-bounded polynomial surrogate for heat-matrix extraction.
+//!
+//! The workspace already has a two-tier thermal stack: the offline
+//! CFD-lite model ([`hbm_thermal::CfdModel`]) and the impulse-response
+//! heat matrix extracted from it ([`hbm_thermal::HeatMatrixModel`],
+//! ~80 µs per cold extraction at 4 servers). This crate adds a third,
+//! cheapest tier: a ridge-regression surrogate on degree-2 polynomial
+//! features of three continuous scenario knobs — per-server baseline
+//! power, cooling supply setpoint, and containment leakage — that
+//! predicts the *entire* extraction output (every response column plus
+//! the steady-state baseline inlets) in a few microseconds.
+//!
+//! Three properties make the tier safe to put on hot paths:
+//!
+//! 1. **Error-bounded.** [`SurrogateModel::fit`] withholds a validation
+//!    split from its training grid and measures max/mean absolute error
+//!    against full extraction (itself pinned to the CFD model by 1e-12
+//!    golden tests). The measured bound travels with the model.
+//! 2. **Self-verifying artifact.** [`SurrogateModel::to_flat_json`]
+//!    serializes coefficients, domain, and bounds with bit-exact `f64`
+//!    round-trips; [`SurrogateModel::from_flat_json`] re-validates every
+//!    dimension before accepting it.
+//! 3. **Byte-identical fallback.** [`TieredExtractor::model_for`] only
+//!    answers from the surrogate inside the trained trust region and
+//!    within the caller's tolerance; every other query takes the exact
+//!    extraction path the rest of the stack uses, so enabling the tier
+//!    never changes out-of-region results by even one bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use hbm_surrogate::{
+//!     ExtractionSettings, FitOptions, SurrogateDomain, SurrogateModel, ThermalTier,
+//!     TieredExtractor,
+//! };
+//! use hbm_thermal::CfdConfig;
+//! use hbm_units::{Duration, Power};
+//!
+//! let settings = ExtractionSettings {
+//!     config: CfdConfig {
+//!         racks: 1,
+//!         servers_per_rack: 2,
+//!         ..CfdConfig::paper_default()
+//!     },
+//!     spike: Power::from_watts(120.0),
+//!     window: Duration::from_minutes(5.0),
+//!     lag_step: Duration::from_minutes(1.0),
+//! };
+//! let domain = SurrogateDomain {
+//!     lo: [120.0, 25.0, 0.03],
+//!     hi: [180.0, 29.0, 0.10],
+//! };
+//! let model = SurrogateModel::fit(
+//!     settings,
+//!     domain,
+//!     FitOptions {
+//!         grid_points: 4,
+//!         holdout_every: 3,
+//!         lambda: 1e-8,
+//!     },
+//! )
+//! .unwrap();
+//! // A 4-point grid already bounds inlet error in the millikelvin range.
+//! assert!(model.max_abs_err_inlet_c() < 0.1);
+//!
+//! let tier = TieredExtractor::with_model(model, 0.5);
+//! let inside = tier.query_for_baseline(150.0);
+//! let (thermal, kind) = tier.model_for(&inside).unwrap();
+//! assert_eq!(kind, ThermalTier::Surrogate);
+//! assert_eq!(thermal.matrix().server_count(), 2);
+//!
+//! let outside = tier.query_for_baseline(500.0);
+//! let (_, kind) = tier.model_for(&outside).unwrap();
+//! assert_eq!(kind, ThermalTier::Extracted);
+//! assert_eq!(tier.stats().fallbacks, 1);
+//! ```
+
+mod model;
+mod ridge;
+mod tier;
+
+pub use model::{
+    ExtractionSettings, FitOptions, SurrogateDomain, SurrogateModel, SurrogateQuery, SCHEMA,
+};
+pub use ridge::{poly_features, NormalEquations, FEATURES, KNOBS};
+pub use tier::{ThermalTier, TierStats, TieredExtractor};

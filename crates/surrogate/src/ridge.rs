@@ -1,0 +1,206 @@
+//! Hand-rolled ridge regression on degree-2 polynomial features.
+//!
+//! The build environment has no linear-algebra crates, and none are
+//! needed: the design has a fixed, tiny feature dimension
+//! ([`FEATURES`] = 10 for the 3 scenario knobs), so the normal equations
+//! `(XᵀX + λI) Θ = XᵀY` are a 10×10 symmetric positive-definite solve,
+//! factored once by Cholesky and back-substituted for every output column
+//! at once. This mirrors the numerics style of `hbm-rl`: flat `Vec<f64>`
+//! state, explicit loops, no allocation in inner kernels.
+
+/// Number of continuous knobs a surrogate is trained over.
+pub const KNOBS: usize = 3;
+
+/// Number of polynomial features: `1, x, y, z, x², y², z², xy, xz, yz`.
+pub const FEATURES: usize = 10;
+
+/// Fills `out` with the degree-2 polynomial features of the normalized
+/// knob vector `x` (each component in `[-1, 1]`).
+#[inline]
+pub fn poly_features(x: &[f64; KNOBS], out: &mut [f64; FEATURES]) {
+    let [a, b, c] = *x;
+    *out = [1.0, a, b, c, a * a, b * b, c * c, a * b, a * c, b * c];
+}
+
+/// Accumulator for the normal equations of a multi-output least-squares
+/// fit: `xtx` is the symmetric `FEATURES × FEATURES` Gram matrix, `xty`
+/// the `FEATURES × outputs` right-hand side (row-major by feature, so one
+/// sample's update streams contiguously over each feature row).
+pub struct NormalEquations {
+    outputs: usize,
+    xtx: Vec<f64>,
+    xty: Vec<f64>,
+    samples: usize,
+}
+
+impl NormalEquations {
+    /// Empty accumulator for `outputs` regression targets.
+    pub fn new(outputs: usize) -> Self {
+        NormalEquations {
+            outputs,
+            xtx: vec![0.0; FEATURES * FEATURES],
+            xty: vec![0.0; FEATURES * outputs],
+            samples: 0,
+        }
+    }
+
+    /// Adds one training sample: feature vector `f`, target row `y`
+    /// (length `outputs`).
+    pub fn add(&mut self, f: &[f64; FEATURES], y: &[f64]) {
+        assert_eq!(y.len(), self.outputs, "target row length mismatch");
+        for (i, &fi) in f.iter().enumerate() {
+            let gram = &mut self.xtx[i * FEATURES..(i + 1) * FEATURES];
+            for (g, &fj) in gram.iter_mut().zip(f.iter()) {
+                *g += fi * fj;
+            }
+            let row = &mut self.xty[i * self.outputs..(i + 1) * self.outputs];
+            for (r, &t) in row.iter_mut().zip(y) {
+                *r += fi * t;
+            }
+        }
+        self.samples += 1;
+    }
+
+    /// Number of samples accumulated so far.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Solves `(XᵀX + λI) Θ = XᵀY` and returns `Θ` as a
+    /// `FEATURES × outputs` row-major coefficient matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the regularized Gram matrix is not positive
+    /// definite (possible only for `lambda <= 0` or non-finite inputs).
+    pub fn solve(mut self, lambda: f64) -> Result<Vec<f64>, String> {
+        if lambda <= 0.0 || lambda.is_nan() {
+            return Err(format!("ridge lambda must be positive, got {lambda}"));
+        }
+        for i in 0..FEATURES {
+            self.xtx[i * FEATURES + i] += lambda;
+        }
+        // In-place Cholesky: lower triangle of xtx becomes L with
+        // XᵀX + λI = L Lᵀ.
+        let g = &mut self.xtx;
+        for i in 0..FEATURES {
+            for j in 0..=i {
+                let mut sum = g[i * FEATURES + j];
+                for k in 0..j {
+                    sum -= g[i * FEATURES + k] * g[j * FEATURES + k];
+                }
+                if i == j {
+                    if sum <= 0.0 || sum.is_nan() {
+                        return Err(format!(
+                            "normal equations not positive definite at pivot {i} (got {sum})"
+                        ));
+                    }
+                    g[i * FEATURES + i] = sum.sqrt();
+                } else {
+                    g[i * FEATURES + j] = sum / g[j * FEATURES + j];
+                }
+            }
+        }
+        // Forward substitution L Z = XᵀY, all output columns at once
+        // (rows of xty are contiguous per feature, so each axpy streams).
+        let m = self.outputs;
+        let theta = &mut self.xty;
+        for i in 0..FEATURES {
+            for k in 0..i {
+                let l = g[i * FEATURES + k];
+                let (done, rest) = theta.split_at_mut(i * m);
+                let zi = &mut rest[..m];
+                let zk = &done[k * m..(k + 1) * m];
+                for (a, &b) in zi.iter_mut().zip(zk) {
+                    *a -= l * b;
+                }
+            }
+            let d = g[i * FEATURES + i];
+            for a in &mut theta[i * m..(i + 1) * m] {
+                *a /= d;
+            }
+        }
+        // Back substitution Lᵀ Θ = Z.
+        for i in (0..FEATURES).rev() {
+            for k in (i + 1)..FEATURES {
+                let l = g[k * FEATURES + i];
+                let (head, tail) = theta.split_at_mut(k * m);
+                let ti = &mut head[i * m..(i + 1) * m];
+                let tk = &tail[..m];
+                for (a, &b) in ti.iter_mut().zip(tk) {
+                    *a -= l * b;
+                }
+            }
+            let d = g[i * FEATURES + i];
+            for a in &mut theta[i * m..(i + 1) * m] {
+                *a /= d;
+            }
+        }
+        Ok(self.xty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_an_exact_quadratic() {
+        // y = 2 + 3x - y² + 0.5xz is inside the feature basis, so a tiny
+        // ridge penalty recovers it almost exactly.
+        let mut ne = NormalEquations::new(1);
+        let mut f = [0.0; FEATURES];
+        for i in 0..5 {
+            for j in 0..5 {
+                for k in 0..5 {
+                    let x = [
+                        -1.0 + 0.5 * i as f64,
+                        -1.0 + 0.5 * j as f64,
+                        -1.0 + 0.5 * k as f64,
+                    ];
+                    poly_features(&x, &mut f);
+                    let y = 2.0 + 3.0 * x[0] - x[1] * x[1] + 0.5 * x[0] * x[2];
+                    ne.add(&f, &[y]);
+                }
+            }
+        }
+        assert_eq!(ne.samples(), 125);
+        let theta = ne.solve(1e-10).unwrap();
+        let expect = [2.0, 3.0, 0.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.5, 0.0];
+        for (got, want) in theta.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-6, "theta {theta:?}");
+        }
+    }
+
+    #[test]
+    fn multi_output_columns_solve_independently() {
+        let mut ne = NormalEquations::new(2);
+        let mut f = [0.0; FEATURES];
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    let x = [
+                        -1.0 + 2.0 * i as f64 / 3.0,
+                        -1.0 + 2.0 * j as f64 / 3.0,
+                        -1.0 + 2.0 * k as f64 / 3.0,
+                    ];
+                    poly_features(&x, &mut f);
+                    ne.add(&f, &[x[0] + x[1], 4.0 * x[2] * x[2]]);
+                }
+            }
+        }
+        let theta = ne.solve(1e-10).unwrap();
+        // Column 0: coefficients on x and y; column 1: coefficient on z².
+        assert!((theta[2] - 1.0).abs() < 1e-6); // feature x, output 0
+        assert!((theta[4] - 1.0).abs() < 1e-6); // feature y, output 0
+        assert!((theta[13] - 4.0).abs() < 1e-6); // feature z², output 1
+    }
+
+    #[test]
+    fn bad_lambda_is_an_error() {
+        let ne = NormalEquations::new(1);
+        assert!(ne.solve(0.0).is_err());
+        let ne = NormalEquations::new(1);
+        assert!(ne.solve(-1.0).is_err());
+    }
+}
