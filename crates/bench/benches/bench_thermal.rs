@@ -294,6 +294,51 @@ fn fleet_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Learning-fleet aggregate throughput: the same shape as
+/// `fleet_slots_per_sec`, but every site runs the foresighted Q-learning
+/// attacker with the teacher phase disabled, so each slot performs the
+/// full learning step — ε/learning-rate schedule evaluation, ε-greedy
+/// action selection, and the TD update. The batched engine packs all 1000
+/// Q-tables into one lane-major matrix and sweeps the schedules as packed
+/// columns; the independent baseline steps the identical fleet through the
+/// scalar learner, so the ratio is pure learning-lane speedup.
+fn learning_fleet_throughput(c: &mut Criterion) {
+    const SITES: usize = 1000;
+    let fleet = || -> Vec<Simulation> {
+        let config = ColoConfig::paper_default().with_trace_len(2 * 1440);
+        (0..SITES)
+            .map(|i| {
+                let seed = 1u64.wrapping_add(1 + i as u64 * 1299721);
+                let mut policy = ForesightedPolicy::paper_default(14.0, seed);
+                policy.set_teacher(Power::from_kilowatts(7.56), 0);
+                Simulation::new(config.clone(), Box::new(policy), seed)
+            })
+            .collect()
+    };
+
+    let mut group = c.benchmark_group("learning_fleet_slots_per_sec");
+    group.sample_size(10);
+
+    group.bench_function("batched", |b| {
+        let mut batch = BatchSim::new(fleet());
+        assert!(batch.learning_devirtualized());
+        b.iter(|| black_box(batch.step_all()));
+    });
+
+    group.bench_function("independent", |b| {
+        let mut sims = fleet();
+        b.iter(|| {
+            let mut down = 0u32;
+            for sim in &mut sims {
+                down += u32::from(sim.step().outage);
+            }
+            black_box(down)
+        });
+    });
+
+    group.finish();
+}
+
 /// What-if branching cost: answering "what if the attack intensifies at
 /// slot 7200?" by forking the live run (`Simulation::fork` + a
 /// [`StateTree`] branch stepped 60 slots) versus re-simulating the whole
@@ -348,6 +393,7 @@ criterion_group!(
     surrogate,
     sim_throughput,
     fleet_throughput,
+    learning_fleet_throughput,
     fork_vs_rerun
 );
 criterion_main!(benches);

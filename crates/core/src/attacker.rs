@@ -20,9 +20,9 @@ pub enum AttackAction {
 }
 
 impl AttackAction {
-    const COUNT: usize = 3;
+    pub(crate) const COUNT: usize = 3;
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             AttackAction::Charge => 0,
             AttackAction::Attack => 1,
@@ -30,7 +30,7 @@ impl AttackAction {
         }
     }
 
-    fn from_index(i: usize) -> AttackAction {
+    pub(crate) fn from_index(i: usize) -> AttackAction {
         match i {
             0 => AttackAction::Charge,
             1 => AttackAction::Attack,
@@ -135,7 +135,7 @@ pub trait AttackPolicy: std::any::Any + Send {
 }
 
 /// Whether the battery can sustain one full slot of attacking.
-fn can_attack(stored: Energy, attack_load: Power, slot: Duration) -> bool {
+pub(crate) fn can_attack(stored: Energy, attack_load: Power, slot: Duration) -> bool {
     stored >= attack_load * slot * 0.999
 }
 
@@ -476,7 +476,7 @@ pub struct ForesightedPolicy {
 /// tabular learner to hold a consistent plan across ~40 consecutive
 /// decisions, which the coarse battery grid cannot represent.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Campaign {
+pub(crate) enum Campaign {
     /// No campaign; the learnt policy decides freely.
     Idle,
     /// Mid-attack: keep discharging until the emergency, dry battery, or
@@ -778,6 +778,40 @@ impl ForesightedPolicy {
         Ok(())
     }
 
+    /// The current campaign execution state (batch-engine lane packing).
+    pub(crate) fn campaign(&self) -> Campaign {
+        self.campaign
+    }
+
+    /// Overwrites the campaign execution state (batch-engine lane
+    /// sync-back when a devirtualized fleet hands its lanes back).
+    pub(crate) fn set_campaign(&mut self, campaign: Campaign) {
+        self.campaign = campaign;
+    }
+
+    /// A copy of the immutable per-lane parameters the batch engine hoists
+    /// into columns when it devirtualizes a fleet of foresighted lanes.
+    pub(crate) fn lane_params(&self) -> ForesightedLaneParams {
+        ForesightedLaneParams {
+            battery_grid: self.battery_grid,
+            load_grid: self.load_grid,
+            temp_grid: self.temp_grid,
+            w: self.w,
+            setpoint: self.setpoint,
+            learning_rate: self.learning_rate,
+            epsilon: self.epsilon,
+            attack_load: self.attack_load,
+            slot: self.slot,
+            capacity: self.capacity,
+            charge_soc_per_slot: self.charge_soc_per_slot,
+            attack_soc_per_slot: self.attack_soc_per_slot,
+            learning_enabled: self.learning_enabled,
+            teacher_threshold: self.teacher_threshold,
+            teacher_days: self.teacher_days,
+            min_launch_soc: self.min_launch_soc,
+        }
+    }
+
     /// The load-bin centers of the policy matrix columns, in kW.
     pub fn load_bin_centers_kw(&self) -> Vec<f64> {
         (0..self.load_grid.len())
@@ -790,6 +824,80 @@ impl ForesightedPolicy {
         (0..self.battery_grid.len())
             .map(|b| self.battery_grid.center(b))
             .collect()
+    }
+}
+
+/// The immutable parameters of one [`ForesightedPolicy`] lane, copied out
+/// for the batch engine's column storage (see `batch::ForesightedLanes`).
+/// Everything the scalar `decide`/`learn` paths read, minus the mutable
+/// state (learner tables, RNG, campaign) that the lanes own directly.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ForesightedLaneParams {
+    pub(crate) battery_grid: UniformGrid,
+    pub(crate) load_grid: UniformGrid,
+    pub(crate) temp_grid: UniformGrid,
+    pub(crate) w: f64,
+    pub(crate) setpoint: Temperature,
+    pub(crate) learning_rate: LearningRate,
+    pub(crate) epsilon: EpsilonSchedule,
+    pub(crate) attack_load: Power,
+    pub(crate) slot: Duration,
+    pub(crate) capacity: Power,
+    pub(crate) charge_soc_per_slot: f64,
+    pub(crate) attack_soc_per_slot: f64,
+    pub(crate) learning_enabled: bool,
+    pub(crate) teacher_threshold: Power,
+    pub(crate) teacher_days: u64,
+    pub(crate) min_launch_soc: f64,
+}
+
+impl ForesightedLaneParams {
+    /// Mirror of the scalar policy's `state_of`, operation for operation —
+    /// the batch engine must produce bit-identical state indices.
+    pub(crate) fn state_of(&self, soc: f64, estimated_total: Power, inlet: Temperature) -> usize {
+        let b = self.battery_grid.index(soc);
+        let u = self.load_grid.index(estimated_total.as_kilowatts());
+        let rise = (inlet - self.setpoint).positive_part().as_celsius();
+        let t = self.temp_grid.index(rise);
+        (b * self.load_grid.len() + u) * self.temp_grid.len() + t
+    }
+
+    /// Mirror of the scalar policy's `allowed_for_soc` (same push order —
+    /// greedy ties must break identically).
+    pub(crate) fn allowed_for_soc(&self, soc: f64, stored_ok: bool) -> AllowedActions {
+        let mut allowed = AllowedActions::new();
+        if soc < 0.999 {
+            allowed.push(AttackAction::Charge.index());
+        }
+        allowed.push(AttackAction::Standby.index());
+        if stored_ok && soc >= self.min_launch_soc {
+            allowed.push(AttackAction::Attack.index());
+        }
+        allowed
+    }
+
+    /// Mirror of the scalar policy's Eqn. 2 reward.
+    pub(crate) fn reward(&self, inlet: Temperature, action: AttackAction) -> f64 {
+        let dt = (inlet - self.setpoint).positive_part().as_celsius();
+        let beta = if action == AttackAction::Attack {
+            1.0
+        } else {
+            0.0
+        };
+        self.w * dt - beta
+    }
+
+    /// Mirror of the scalar policy's deterministic post-state map.
+    pub(crate) fn post_state(&self, s: usize, a: usize) -> usize {
+        post_state_impl(
+            s,
+            a,
+            self.charge_soc_per_slot,
+            self.attack_soc_per_slot,
+            self.battery_grid,
+            self.load_grid.len(),
+            self.temp_grid.len(),
+        )
     }
 }
 
@@ -948,20 +1056,20 @@ impl AttackPolicy for ForesightedPolicy {
 /// slot, so this stays on the stack — a `Vec` here was the last per-slot
 /// heap allocation in the simulator's steady loop.
 #[derive(Debug, Clone, Copy)]
-struct AllowedActions {
+pub(crate) struct AllowedActions {
     actions: [usize; AttackAction::COUNT],
     len: usize,
 }
 
 impl AllowedActions {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         AllowedActions {
             actions: [0; AttackAction::COUNT],
             len: 0,
         }
     }
 
-    fn push(&mut self, action: usize) {
+    pub(crate) fn push(&mut self, action: usize) {
         self.actions[self.len] = action;
         self.len += 1;
     }
@@ -988,7 +1096,7 @@ fn post_state_for(p: &ForesightedPolicy, s: usize, a: usize) -> usize {
     )
 }
 
-fn post_state_impl(
+pub(crate) fn post_state_impl(
     s: usize,
     a: usize,
     charge_soc: f64,

@@ -2,8 +2,10 @@
 //!
 //! [`BatchSim`] advances a whole batch of scenarios in lockstep: per-slot
 //! state lives in structure-of-arrays form so the hot kernels — the zone
-//! thermal sub-steps ([`ZoneLanes`]) and the side channel's Box–Muller noise
-//! pass ([`box_muller_slice`]) — run as tight, SIMD-friendly inner loops over
+//! thermal sub-steps ([`ZoneLanes`]), the side channel's Box–Muller noise
+//! pass ([`box_muller_slice`]), and an all-foresighted fleet's Q-learning
+//! (packed `[lane × state × action]` tables plus schedule column sweeps,
+//! see [`ForesightedLanes`]) — run as tight, SIMD-friendly inner loops over
 //! the batch dimension instead of re-entering one `Simulation` at a time.
 //!
 //! # Determinism contract
@@ -27,17 +29,21 @@ use std::sync::Arc;
 
 use hbm_battery::Battery;
 use hbm_power::EmergencyProtocol;
+use hbm_rl::{epsilon_sweep, learning_rate_sweep, EpsilonSchedule, LearningRate};
 use hbm_sidechannel::math::box_muller_slice;
 use hbm_sidechannel::{ChannelLanes, VoltageSideChannel, NORMALS_PER_ESTIMATE};
 use hbm_telemetry::Recorder;
 use hbm_thermal::{ZoneLanes, ZoneModel};
 use hbm_units::{Duration, Energy, Power, Temperature};
 use hbm_workload::PowerTrace;
+use rand::rngs::StdRng;
+use rand::RngExt;
 
+use crate::attacker::{can_attack, Campaign, ForesightedLaneParams};
 use crate::sim::{emit_sample, slots_per_day_at, PendingTransition, SimParts};
 use crate::{
-    AttackAction, AttackPolicy, ColoConfig, Metrics, MyopicPolicy, Observation, SimReport,
-    Simulation, SlotRecord, Transition,
+    AttackAction, AttackPolicy, ColoConfig, ForesightedPolicy, Learner, Metrics, MyopicPolicy,
+    Observation, SimReport, Simulation, SlotRecord, Transition,
 };
 
 /// Lane-major histogram counts for a batch whose lanes all share one
@@ -225,6 +231,337 @@ struct MyopicLanes {
     arm_kwh: Vec<f64>,
 }
 
+/// Packed learner storage of an all-foresighted batch, one learner kind for
+/// every lane (mixed kinds fall back to virtual dispatch).
+enum LearnerLanes {
+    Batch(hbm_rl::BatchLanes),
+    Standard(hbm_rl::StandardLanes),
+}
+
+/// Devirtualized state of an all-[`ForesightedPolicy`] batch: per-lane
+/// Q-tables packed into one contiguous `[lane × state × action]` matrix
+/// (via `hbm_rl`'s lane containers), ε/learning-rate schedule evaluations
+/// as packed column sweeps, and the campaign/RNG state the scalar policy
+/// keeps privately hoisted into per-lane columns.
+///
+/// `learn_lane` and `decide_lane` replicate [`ForesightedPolicy::learn`] /
+/// [`ForesightedPolicy::decide`] **op for op** — same state encoding, same
+/// allowed-action order, same conditional RNG draws, same greedy comparison
+/// sequence — so lane `i` stays bit-identical to the scalar policy it was
+/// packed from (the batch determinism contract). The packed state is
+/// authoritative while batched and synced back in
+/// [`BatchSim::into_sims`].
+struct ForesightedLanes {
+    learner: LearnerLanes,
+    params: Vec<ForesightedLaneParams>,
+    campaigns: Vec<Campaign>,
+    rngs: Vec<StdRng>,
+    /// `decide`'s day divisor, `(1 day / slot)` truncated — deliberately
+    /// *not* the rounded [`slots_per_day_at`] that `learn` transitions use
+    /// (the scalar policy computes the two differently, and bit-identity
+    /// means replicating both).
+    decide_slots_per_day: Vec<u64>,
+    /// Per-lane schedule columns for the packed sweeps.
+    epsilons: Vec<EpsilonSchedule>,
+    learning_rates: Vec<LearningRate>,
+    /// Per-slot sweep scratch (preallocated; the steady loop allocates
+    /// nothing).
+    decide_days: Vec<u64>,
+    learn_days: Vec<u64>,
+    eps_col: Vec<f64>,
+    delta_col: Vec<f64>,
+    /// Day values the cached ε/δ columns were last evaluated at (0 =
+    /// never; real day indices start at 1). The schedules are pure
+    /// functions of the day index, so a cached column entry stays exact
+    /// until its lane's day moves — the sweeps then run compacted over
+    /// just the moved lanes.
+    swept_decide_days: Vec<u64>,
+    swept_learn_days: Vec<u64>,
+    /// Gather/scatter scratch for the compacted sweeps (preallocated).
+    sweep_idx: Vec<usize>,
+    sweep_days: Vec<u64>,
+    sweep_eps: Vec<EpsilonSchedule>,
+    sweep_rates: Vec<LearningRate>,
+    sweep_out: Vec<f64>,
+}
+
+impl ForesightedLanes {
+    /// Packs an all-foresighted policy set. `None` when any lane is not a
+    /// [`ForesightedPolicy`], the lanes mix learner kinds, or the table
+    /// shapes disagree — those batches keep the virtual dispatch path.
+    fn from_policies(policies: &[Box<dyn AttackPolicy>]) -> Option<ForesightedLanes> {
+        let ps: Vec<&ForesightedPolicy> = policies
+            .iter()
+            .map(|p| p.as_any().downcast_ref::<ForesightedPolicy>())
+            .collect::<Option<_>>()?;
+        let learner = match ps[0].learner() {
+            Learner::Batch(_) => {
+                let agents: Vec<&hbm_rl::BatchQLearning> = ps
+                    .iter()
+                    .map(|p| match p.learner() {
+                        Learner::Batch(a) => Some(a),
+                        Learner::Standard(_) => None,
+                    })
+                    .collect::<Option<_>>()?;
+                LearnerLanes::Batch(hbm_rl::BatchLanes::from_agents(&agents)?)
+            }
+            Learner::Standard(_) => {
+                let agents: Vec<&hbm_rl::QLearning> = ps
+                    .iter()
+                    .map(|p| match p.learner() {
+                        Learner::Standard(a) => Some(a),
+                        Learner::Batch(_) => None,
+                    })
+                    .collect::<Option<_>>()?;
+                LearnerLanes::Standard(hbm_rl::StandardLanes::from_agents(&agents)?)
+            }
+        };
+        let params: Vec<ForesightedLaneParams> = ps.iter().map(|p| p.lane_params()).collect();
+        let lanes = ps.len();
+        Some(ForesightedLanes {
+            learner,
+            campaigns: ps.iter().map(|p| p.campaign()).collect(),
+            rngs: ps
+                .iter()
+                .map(|p| StdRng::from_state(p.rng_state()))
+                .collect(),
+            decide_slots_per_day: params
+                .iter()
+                .map(|p| (Duration::from_days(1.0) / p.slot) as u64)
+                .collect(),
+            epsilons: params.iter().map(|p| p.epsilon).collect(),
+            learning_rates: params.iter().map(|p| p.learning_rate).collect(),
+            params,
+            decide_days: vec![0; lanes],
+            learn_days: vec![0; lanes],
+            eps_col: vec![0.0; lanes],
+            delta_col: vec![0.0; lanes],
+            swept_decide_days: vec![0; lanes],
+            swept_learn_days: vec![0; lanes],
+            sweep_idx: Vec::with_capacity(lanes),
+            sweep_days: Vec::with_capacity(lanes),
+            sweep_eps: Vec::with_capacity(lanes),
+            sweep_rates: Vec::with_capacity(lanes),
+            sweep_out: Vec::with_capacity(lanes),
+        })
+    }
+
+    /// Evaluates every lane's ε and δ schedules for this slot as two packed
+    /// column sweeps, memoized by day. The schedules are pure functions of
+    /// the day index, so eagerly evaluating lanes that end up not consuming
+    /// the value (teacher phase, campaign early returns, no pending
+    /// transition, outage) is value-neutral, and a cached entry can be
+    /// reused verbatim until the lane's day moves; where a lane *does*
+    /// consume it, the sweep element is bit-identical to the scalar `at`
+    /// call it replaces (property-pinned in `hbm-rl`).
+    ///
+    /// Must run before any pending transition is taken: the δ column is
+    /// derived from the pendings' observation slots.
+    fn sweep_schedules(
+        &mut self,
+        records: &[SlotRecord],
+        pendings: &[Option<PendingTransition>],
+        slots_per_day: u64,
+    ) {
+        for i in 0..self.params.len() {
+            // decide: `day = obs.slot / (1 day / slot) + 1` (un-rounded).
+            self.decide_days[i] = records[i].slot / self.decide_slots_per_day[i] + 1;
+            // learn: `δ = learning_rate.at(t.day + 1)` with
+            // `t.day = pending.observation.slot / slots_per_day` (rounded).
+            self.learn_days[i] = pendings[i]
+                .as_ref()
+                .map_or(0, |p| p.observation.slot / slots_per_day)
+                + 1;
+        }
+        // ε: re-evaluate only the lanes whose decide day moved (about once
+        // per simulated day per lane); the cached column entries are exact
+        // for unmoved days, so the packed sweep runs compacted.
+        self.sweep_idx.clear();
+        self.sweep_days.clear();
+        self.sweep_eps.clear();
+        for i in 0..self.decide_days.len() {
+            if self.decide_days[i] != self.swept_decide_days[i] {
+                self.sweep_idx.push(i);
+                self.sweep_days.push(self.decide_days[i]);
+                self.sweep_eps.push(self.epsilons[i]);
+            }
+        }
+        if !self.sweep_idx.is_empty() {
+            self.sweep_out.clear();
+            self.sweep_out.resize(self.sweep_idx.len(), 0.0);
+            epsilon_sweep(&self.sweep_eps, &self.sweep_days, &mut self.sweep_out);
+            for (k, &i) in self.sweep_idx.iter().enumerate() {
+                self.eps_col[i] = self.sweep_out[k];
+                self.swept_decide_days[i] = self.decide_days[i];
+            }
+        }
+        // δ: same compaction keyed on the learn day (moves when a lane's
+        // pending transition is re-armed).
+        self.sweep_idx.clear();
+        self.sweep_days.clear();
+        self.sweep_rates.clear();
+        for i in 0..self.learn_days.len() {
+            if self.learn_days[i] != self.swept_learn_days[i] {
+                self.sweep_idx.push(i);
+                self.sweep_days.push(self.learn_days[i]);
+                self.sweep_rates.push(self.learning_rates[i]);
+            }
+        }
+        if !self.sweep_idx.is_empty() {
+            self.sweep_out.clear();
+            self.sweep_out.resize(self.sweep_idx.len(), 0.0);
+            learning_rate_sweep(&self.sweep_rates, &self.sweep_days, &mut self.sweep_out);
+            for (k, &i) in self.sweep_idx.iter().enumerate() {
+                self.delta_col[i] = self.sweep_out[k];
+                self.swept_learn_days[i] = self.learn_days[i];
+            }
+        }
+    }
+
+    /// [`ForesightedPolicy::learn`] on lane `i`, against the packed tables.
+    fn learn_lane(&mut self, i: usize, t: &Transition) {
+        let p = self.params[i];
+        if !p.learning_enabled {
+            return;
+        }
+        let s = p.state_of(
+            t.observation.battery_soc,
+            t.observation.estimated_total,
+            t.observation.inlet,
+        );
+        let s_next = p.state_of(t.next_battery_soc, t.next_estimated_total, t.inlet);
+        let stored_ok = can_attack(t.next_battery_stored, p.attack_load, p.slot);
+        let allowed_next = p.allowed_for_soc(t.next_battery_soc, stored_ok);
+        let reward = p.reward(t.inlet, t.action);
+        // The sweep evaluated this lane's δ from the same pending this
+        // transition was built from.
+        debug_assert_eq!(self.learn_days[i], t.day + 1);
+        let delta = self.delta_col[i];
+        match &mut self.learner {
+            LearnerLanes::Batch(l) => l.update(
+                i,
+                s,
+                t.action.index(),
+                reward,
+                s_next,
+                &allowed_next,
+                |s, a| p.post_state(s, a),
+                delta,
+            ),
+            LearnerLanes::Standard(l) => l.update(
+                i,
+                s,
+                t.action.index(),
+                reward,
+                s_next,
+                &allowed_next,
+                delta,
+            ),
+        }
+    }
+
+    /// [`ForesightedPolicy::decide`] on lane `i`, against the packed tables
+    /// and hoisted campaign/RNG columns.
+    fn decide_lane(&mut self, i: usize, obs: &Observation) -> AttackAction {
+        let p = self.params[i];
+        if obs.capping {
+            if let Campaign::Attacking { launch_est } = self.campaigns[i] {
+                self.campaigns[i] = Campaign::Recharging { launch_est };
+            }
+            return AttackAction::Standby;
+        }
+        let s = p.state_of(obs.battery_soc, obs.estimated_total, obs.inlet);
+        let stored_ok = can_attack(obs.battery_stored, p.attack_load, p.slot);
+
+        let load_collapsed =
+            |launch_est: Power| obs.estimated_total < launch_est - Power::from_kilowatts(0.4);
+        let ineffective =
+            obs.estimated_total + p.attack_load < p.capacity + Power::from_kilowatts(0.25);
+        match self.campaigns[i] {
+            Campaign::Attacking { launch_est } => {
+                if load_collapsed(launch_est) || ineffective {
+                    self.campaigns[i] = Campaign::Idle;
+                } else if !stored_ok {
+                    self.campaigns[i] = Campaign::Recharging { launch_est };
+                } else {
+                    return AttackAction::Attack;
+                }
+            }
+            Campaign::Recharging { launch_est } => {
+                if load_collapsed(launch_est) || ineffective {
+                    self.campaigns[i] = Campaign::Idle;
+                } else if obs.battery_soc >= p.min_launch_soc && stored_ok {
+                    self.campaigns[i] = Campaign::Attacking { launch_est };
+                    return AttackAction::Attack;
+                } else {
+                    return AttackAction::Charge;
+                }
+            }
+            Campaign::Idle => {}
+        }
+
+        let allowed = p.allowed_for_soc(obs.battery_soc, stored_ok);
+        let day = self.decide_days[i];
+        debug_assert_eq!(day, obs.slot / self.decide_slots_per_day[i] + 1);
+
+        if p.learning_enabled && day <= p.teacher_days {
+            return if obs.estimated_total >= p.teacher_threshold
+                && obs.battery_soc >= p.min_launch_soc
+                && stored_ok
+            {
+                self.campaigns[i] = Campaign::Attacking {
+                    launch_est: obs.estimated_total,
+                };
+                AttackAction::Attack
+            } else if obs.battery_soc < 1.0 {
+                AttackAction::Charge
+            } else {
+                AttackAction::Standby
+            };
+        }
+
+        let eps = if p.learning_enabled {
+            self.eps_col[i]
+        } else {
+            0.0
+        };
+        // Same conditional draws as the scalar policy: no RNG output is
+        // consumed unless ε is strictly positive, and the index draw only
+        // happens on the explore branch.
+        let a = if eps > 0.0 && self.rngs[i].random::<f64>() < eps {
+            allowed[self.rngs[i].random_range(0..allowed.len())]
+        } else {
+            match &self.learner {
+                LearnerLanes::Batch(l) => l.select_greedy(i, s, &allowed, |s, a| p.post_state(s, a)),
+                LearnerLanes::Standard(l) => l.select_greedy(i, s, &allowed),
+            }
+        };
+        let action = AttackAction::from_index(a);
+        if action == AttackAction::Attack {
+            self.campaigns[i] = Campaign::Attacking {
+                launch_est: obs.estimated_total,
+            };
+        }
+        action
+    }
+
+    /// Flows lane `i`'s packed state (tables, RNG, campaign) back into the
+    /// scalar policy it was packed from.
+    fn sync_into_policy(&self, i: usize, policy: &mut ForesightedPolicy) {
+        match (&self.learner, policy.learner_mut()) {
+            (LearnerLanes::Batch(l), Learner::Batch(agent)) => {
+                l.sync_into(i, agent).expect("lane shape matches its source");
+            }
+            (LearnerLanes::Standard(l), Learner::Standard(agent)) => {
+                l.sync_into(i, agent).expect("lane shape matches its source");
+            }
+            _ => unreachable!("lane learner kind matches the policy it was packed from"),
+        }
+        policy.restore_rng(self.rngs[i].state());
+        policy.set_campaign(self.campaigns[i]);
+    }
+}
+
 /// drive it with [`step_all`](BatchSim::step_all) or
 /// [`run`](BatchSim::run), then collect results with
 /// [`take_reports`](BatchSim::take_reports) and hand the scenarios back with
@@ -262,6 +599,13 @@ pub struct BatchSim {
     /// scalar comparisons on values the step loop already holds, so the
     /// whole fleet skips the observation build and the trait-object call.
     myopic: Option<MyopicLanes>,
+    /// Set when every lane runs a [`ForesightedPolicy`] with one learner
+    /// kind and one table shape: Q-tables pack into a single contiguous
+    /// lane-major matrix, schedule evaluations become packed column sweeps,
+    /// and learn/decide run without the trait-object call (see
+    /// [`ForesightedLanes`]). The packed state is authoritative while
+    /// batched; [`into_sims`](BatchSim::into_sims) syncs it back.
+    foresighted: Option<ForesightedLanes>,
 
     // ---- Per-lane config invariants, hoisted into dense arrays. ----
     // `ColoConfig` spans several cache lines per lane; the hot phases only
@@ -396,6 +740,11 @@ impl BatchSim {
                     .map(|p| p.arm_energy().as_kilowatt_hours())
                     .collect(),
             });
+        let foresighted = if myopic.is_some() {
+            None
+        } else {
+            ForesightedLanes::from_policies(&policies)
+        };
         let benign_caps = configs.iter().map(|c| c.benign_capacity()).collect();
         let benign_emergency_caps = configs.iter().map(|c| c.benign_emergency_cap()).collect();
         let attacker_caps: Vec<Power> = configs.iter().map(|c| c.attacker_capacity).collect();
@@ -448,6 +797,7 @@ impl BatchSim {
             recorders,
             wants_learn,
             myopic,
+            foresighted,
             benign_caps,
             benign_emergency_caps,
             attacker_caps,
@@ -498,6 +848,14 @@ impl BatchSim {
         self.slot
     }
 
+    /// Whether this batch devirtualized its learning lanes — true only for
+    /// an all-[`ForesightedPolicy`] batch with one learner kind and one
+    /// table shape. Tests assert on this so a silent fallback to virtual
+    /// dispatch (still correct, just slower) cannot hide.
+    pub fn learning_devirtualized(&self) -> bool {
+        self.foresighted.is_some()
+    }
+
     /// The last slot's records, one per lane ([`blank`](SlotRecord) before
     /// the first [`step_all`](BatchSim::step_all)).
     pub fn records(&self) -> &[SlotRecord] {
@@ -512,7 +870,9 @@ impl BatchSim {
     /// 1. slot bookkeeping and benign tenants (scalar sweep);
     /// 2. side-channel uniform draws, compacted over non-outage lanes;
     /// 3. one packed Box–Muller pass over all lanes' normals (vectorized);
-    /// 4. estimate → learn → decide → act (virtual dispatch per lane);
+    /// 4. estimate → learn → decide → act (virtual dispatch per lane;
+    ///    all-myopic and all-foresighted fleets devirtualize — the latter
+    ///    with packed Q-table lanes and schedule column sweeps);
     /// 5. zone thermal pass over the whole batch ([`ZoneLanes::step_all`]);
     /// 6. protocol, metrics, and record finalization (scalar sweep).
     pub fn step_all(&mut self) -> u32 {
@@ -652,6 +1012,11 @@ impl BatchSim {
                 self.est_w[i] = raw_estimate;
             }
         }
+        if let Some(fl) = &mut self.foresighted {
+            // Packed ε/δ schedule sweeps for the whole fleet, before any
+            // pending transition is taken (the δ column reads them).
+            fl.sweep_schedules(&self.records, &self.pendings, self.slots_per_day);
+        }
         for j in 0..n_active {
             let i = self.active[j] as usize;
             let k = self.records[i].slot;
@@ -724,12 +1089,18 @@ impl BatchSim {
                             next_capping: capping,
                             day: p.observation.slot / self.slots_per_day,
                         };
-                        self.policies[i].learn(&transition);
+                        match &mut self.foresighted {
+                            Some(fl) => fl.learn_lane(i, &transition),
+                            None => self.policies[i].learn(&transition),
+                        }
                     }
                     self.observations[i] = observation;
                 }
 
-                self.policies[i].decide(&observation)
+                match &mut self.foresighted {
+                    Some(fl) => fl.decide_lane(i, &observation),
+                    None => self.policies[i].decide(&observation),
+                }
             };
             let attacker_metered_limit = if capping {
                 self.attacker_emergency_caps[i]
@@ -867,6 +1238,24 @@ impl BatchSim {
         down
     }
 
+    /// Like [`run`](BatchSim::run), but additionally collects every lane's
+    /// per-slot [`SlotRecord`]s, lane-major (`records[i][t]`) — what the
+    /// experiment harness needs to post-process a batched
+    /// [`Simulation::run_recorded`] equivalent.
+    pub fn run_recorded(&mut self, slots: u64) -> (Vec<u32>, Vec<Vec<SlotRecord>>) {
+        let mut down = Vec::with_capacity(slots as usize);
+        let mut records: Vec<Vec<SlotRecord>> = (0..self.len())
+            .map(|_| Vec::with_capacity(slots as usize))
+            .collect();
+        for _ in 0..slots {
+            down.push(self.step_all());
+            for (lane, record) in records.iter_mut().zip(&self.records) {
+                lane.push(*record);
+            }
+        }
+        (down, records)
+    }
+
     /// Per-lane reports, taking each lane's metrics *by move* (the lane
     /// continues with fresh metrics, as after [`Simulation::warmup`]).
     pub fn take_reports(&mut self) -> Vec<SimReport> {
@@ -888,9 +1277,19 @@ impl BatchSim {
     pub fn into_sims(mut self) -> Vec<Simulation> {
         let lanes = self.len();
         // The column-wise RNG/wander/metric state is authoritative while
-        // batched; flow it back before handing the scenarios out.
+        // batched; flow it back before handing the scenarios out. Same for
+        // a devirtualized foresighted fleet's packed tables/RNG/campaigns.
         self.sc_lanes.sync_back(&mut self.side_channels);
         self.metric_lanes.fold_into(&mut self.metrics);
+        if let Some(fl) = self.foresighted.take() {
+            for i in 0..lanes {
+                let policy = self.policies[i]
+                    .as_any_mut()
+                    .downcast_mut::<ForesightedPolicy>()
+                    .expect("foresighted lanes only pack ForesightedPolicy");
+                fl.sync_into_policy(i, policy);
+            }
+        }
         let mut sims = Vec::with_capacity(lanes);
         for i in (0..lanes).rev() {
             let mut zone = self.zone_models[i];
@@ -947,21 +1346,7 @@ pub fn run_sharded(sims: Vec<Simulation>, slots: u64) -> BatchRun {
             down_per_slot: vec![0; slots as usize],
         };
     }
-    // Probe the budget to size the shards, then release it so par_map can
-    // re-borrow the same threads for the actual work.
-    let workers = {
-        let lease = hbm_par::reserve_threads(lanes.saturating_sub(1));
-        (lease.granted() + 1).min(lanes)
-    };
-    let quotient = lanes / workers;
-    let remainder = lanes % workers;
-    let mut shards: Vec<Vec<Simulation>> = Vec::with_capacity(workers);
-    let mut iter = sims.into_iter();
-    for s in 0..workers {
-        let take = quotient + usize::from(s < remainder);
-        shards.push(iter.by_ref().take(take).collect());
-    }
-    let outcomes = hbm_par::par_map(shards, |shard| {
+    let outcomes = hbm_par::par_map(shard_lanes(sims), |shard| {
         let mut batch = BatchSim::new(shard);
         let down = batch.run(slots);
         let reports = batch.take_reports();
@@ -982,4 +1367,75 @@ pub fn run_sharded(sims: Vec<Simulation>, slots: u64) -> BatchRun {
         reports,
         down_per_slot,
     }
+}
+
+/// Outcome of a sharded recorded batch run ([`run_sharded_recorded`]).
+pub struct BatchRunRecorded {
+    /// The scenarios, in input order, ready to keep stepping.
+    pub sims: Vec<Simulation>,
+    /// Per-scenario reports, in input order.
+    pub reports: Vec<SimReport>,
+    /// Per-scenario, per-slot records (`records[i][t]`), in input order.
+    pub records: Vec<Vec<SlotRecord>>,
+    /// Per-slot count of scenarios that were down across the whole batch.
+    pub down_per_slot: Vec<u32>,
+}
+
+/// [`run_sharded`] plus every lane's per-slot [`SlotRecord`]s — the batched
+/// counterpart of [`Simulation::run_recorded`], with the same determinism
+/// contract (byte-identical at any thread count).
+pub fn run_sharded_recorded(sims: Vec<Simulation>, slots: u64) -> BatchRunRecorded {
+    let lanes = sims.len();
+    if lanes == 0 {
+        return BatchRunRecorded {
+            sims,
+            reports: Vec::new(),
+            records: Vec::new(),
+            down_per_slot: vec![0; slots as usize],
+        };
+    }
+    let outcomes = hbm_par::par_map(shard_lanes(sims), |shard| {
+        let mut batch = BatchSim::new(shard);
+        let (down, records) = batch.run_recorded(slots);
+        let reports = batch.take_reports();
+        (batch.into_sims(), reports, records, down)
+    });
+    let mut sims = Vec::with_capacity(lanes);
+    let mut reports = Vec::with_capacity(lanes);
+    let mut records = Vec::with_capacity(lanes);
+    let mut down_per_slot = vec![0u32; slots as usize];
+    for (shard_sims, shard_reports, shard_records, shard_down) in outcomes {
+        sims.extend(shard_sims);
+        reports.extend(shard_reports);
+        records.extend(shard_records);
+        for (acc, d) in down_per_slot.iter_mut().zip(shard_down) {
+            *acc += d;
+        }
+    }
+    BatchRunRecorded {
+        sims,
+        reports,
+        records,
+        down_per_slot,
+    }
+}
+
+/// Partitions lanes into contiguous shards, one per worker the `hbm_par`
+/// budget grants (probed, then released so `par_map` can re-borrow the same
+/// threads for the actual work).
+fn shard_lanes(sims: Vec<Simulation>) -> Vec<Vec<Simulation>> {
+    let lanes = sims.len();
+    let workers = {
+        let lease = hbm_par::reserve_threads(lanes.saturating_sub(1));
+        (lease.granted() + 1).min(lanes)
+    };
+    let quotient = lanes / workers;
+    let remainder = lanes % workers;
+    let mut shards: Vec<Vec<Simulation>> = Vec::with_capacity(workers);
+    let mut iter = sims.into_iter();
+    for s in 0..workers {
+        let take = quotient + usize::from(s < remainder);
+        shards.push(iter.by_ref().take(take).collect());
+    }
+    shards
 }

@@ -54,7 +54,7 @@ pub use attacker::{
     AttackAction, AttackPolicy, ForesightedPolicy, Learner, MyopicPolicy, Observation,
     OneShotPolicy, RandomPolicy, Transition,
 };
-pub use batch::{run_sharded, BatchRun, BatchSim};
+pub use batch::{run_sharded, run_sharded_recorded, BatchRun, BatchRunRecorded, BatchSim};
 pub use config::ColoConfig;
 pub use cost::{CostModel, CostReport};
 pub use fleet::{coordinated_one_shot, Fleet, FleetReport};

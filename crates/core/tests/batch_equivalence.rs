@@ -139,6 +139,178 @@ fn all_myopic_batch_matches_sequential() {
     }
 }
 
+/// Builds an all-foresighted fleet covering every decide path: a lane still
+/// in its teacher phase, lanes past it (teacher disabled, so ε-greedy
+/// exploration and the packed greedy scan run from slot 0), and a frozen
+/// evaluation lane (no learning, no exploration). All lanes use the paper's
+/// batch learner, so the fleet devirtualizes onto packed Q-table lanes.
+fn foresighted_fleet() -> Vec<Simulation> {
+    let base = ColoConfig::paper_default().with_trace_len(7 * 1440);
+    let mut sims = Vec::new();
+    for (i, (w, teacher, learning)) in [
+        (14.0, true, true),
+        (9.0, false, true),
+        (22.0, false, true),
+        (0.0, false, false),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut policy = ForesightedPolicy::paper_default(w, 4 + i as u64);
+        if !teacher {
+            policy.set_teacher(Power::from_kilowatts(7.56), 0);
+        }
+        policy.set_learning(learning);
+        sims.push(Simulation::new(base.clone(), Box::new(policy), 4 + i as u64));
+    }
+    sims
+}
+
+/// A batch whose every lane is a [`ForesightedPolicy`] devirtualizes onto
+/// packed Q-table lanes and schedule column sweeps; the mixed batch above
+/// never does, so the learning fleet needs its own slot-for-slot check.
+#[test]
+fn all_foresighted_batch_matches_sequential() {
+    const SLOTS: u64 = 3 * 1440;
+    let reference: Vec<(SimReport, Vec<SlotRecord>)> = foresighted_fleet()
+        .into_iter()
+        .map(|mut sim| sim.run_recorded(SLOTS))
+        .collect();
+    assert!(
+        reference.iter().any(|(r, _)| r.metrics.attack_slots > 0),
+        "at least one foresighted lane must actually attack"
+    );
+
+    let mut batch = BatchSim::new(foresighted_fleet());
+    assert!(
+        batch.learning_devirtualized(),
+        "an all-foresighted batch-learner fleet must take the packed fast path"
+    );
+    for k in 0..SLOTS {
+        batch.step_all();
+        for (i, (_, records)) in reference.iter().enumerate() {
+            let want = records[k as usize];
+            let got = batch.records()[i];
+            assert_eq!(got, want, "foresighted lane {i} diverged at slot {k}");
+            assert_eq!(
+                got.estimated_total.as_kilowatts().to_bits(),
+                want.estimated_total.as_kilowatts().to_bits(),
+                "foresighted lane {i} estimate bits diverged at slot {k}"
+            );
+        }
+    }
+    let reports = batch.take_reports();
+    for (i, (want, _)) in reference.iter().enumerate() {
+        assert_eq!(
+            reports[i],
+            want.clone(),
+            "foresighted lane {i} report diverged"
+        );
+    }
+}
+
+/// Same contract for the classic-Q ablation learner: all-standard fleets
+/// pack onto `StandardLanes` (mixing learner kinds falls back to virtual
+/// dispatch, checked here too).
+#[test]
+fn all_foresighted_standard_q_batch_matches_sequential() {
+    const SLOTS: u64 = 2 * 1440;
+    let base = ColoConfig::paper_default().with_trace_len(7 * 1440);
+    let make = || -> Vec<Simulation> {
+        [9.0, 14.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let mut policy = ForesightedPolicy::paper_default(w, 21 + i as u64);
+                policy.set_teacher(Power::from_kilowatts(7.56), 0);
+                let policy = policy.with_standard_q();
+                Simulation::new(base.clone(), Box::new(policy), 21 + i as u64)
+            })
+            .collect()
+    };
+
+    let reference: Vec<(SimReport, Vec<SlotRecord>)> = make()
+        .into_iter()
+        .map(|mut sim| sim.run_recorded(SLOTS))
+        .collect();
+
+    let mut batch = BatchSim::new(make());
+    assert!(
+        batch.learning_devirtualized(),
+        "an all-standard-Q fleet must take the packed fast path"
+    );
+    for k in 0..SLOTS {
+        batch.step_all();
+        for (i, (_, records)) in reference.iter().enumerate() {
+            assert_eq!(
+                batch.records()[i],
+                records[k as usize],
+                "standard-Q lane {i} diverged at slot {k}"
+            );
+        }
+    }
+    let reports = batch.take_reports();
+    for (i, (want, _)) in reference.iter().enumerate() {
+        assert_eq!(reports[i], want.clone(), "standard-Q lane {i} report diverged");
+    }
+
+    // Mixed learner kinds cannot share one packed matrix; the batch must
+    // fall back to virtual dispatch (correctness is covered by the mixed
+    // batch tests above).
+    let mut mixed = make();
+    mixed.push(Simulation::new(
+        base,
+        Box::new(ForesightedPolicy::paper_default(14.0, 30)),
+        30,
+    ));
+    assert!(!BatchSim::new(mixed).learning_devirtualized());
+}
+
+/// The packed learner/RNG/campaign state is authoritative while batched;
+/// `into_sims` must flow it back so scalar stepping continues bit-exactly.
+#[test]
+fn foresighted_batch_hands_back_resumable_sims() {
+    const HALF: u64 = 1440;
+    let full: Vec<SimReport> = foresighted_fleet()
+        .into_iter()
+        .map(|mut sim| sim.run(2 * HALF))
+        .collect();
+
+    let mut batch = BatchSim::new(foresighted_fleet());
+    assert!(batch.learning_devirtualized());
+    batch.run(HALF);
+    let resumed: Vec<SimReport> = batch
+        .into_sims()
+        .iter_mut()
+        .map(|sim| sim.run(HALF))
+        .collect();
+    assert_eq!(
+        resumed, full,
+        "scalar stepping must continue bit-exactly from the packed learning state"
+    );
+}
+
+#[test]
+fn sharded_foresighted_run_is_thread_count_invariant() {
+    const SLOTS: u64 = 2 * 1440;
+    let reports_ref: Vec<SimReport> = foresighted_fleet()
+        .into_iter()
+        .map(|mut sim| sim.run(SLOTS))
+        .collect();
+
+    // 1 = fully sequential; 3 splits the 4 lanes unevenly; 16 grants more
+    // workers than lanes. All three must be byte-identical.
+    for threads in [1usize, 3, 16] {
+        hbm_par::configure_threads(threads);
+        let run = run_sharded(foresighted_fleet(), SLOTS);
+        assert_eq!(
+            run.reports, reports_ref,
+            "foresighted reports diverged at {threads} threads"
+        );
+    }
+    hbm_par::configure_threads(1);
+}
+
 #[test]
 fn batch_hands_back_resumable_sims() {
     const HALF: u64 = 1440;

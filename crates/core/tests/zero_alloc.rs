@@ -115,4 +115,33 @@ fn steady_loop_allocates_nothing() {
         batched, 0,
         "batch steady loop must not touch the heap (got {batched} allocations over a day)"
     );
+
+    // The devirtualized learning fleet (all-foresighted batch): packed
+    // Q-table lanes, schedule column sweeps, per-lane campaign/RNG columns —
+    // all preallocated at construction. Teacher disabled on most lanes so
+    // the ε-greedy and packed greedy-scan paths run, not just the teacher's.
+    let sims: Vec<Simulation> = (0..4)
+        .map(|i| {
+            let mut policy = ForesightedPolicy::paper_default(9.0 + 5.0 * i as f64, 40 + i);
+            if i > 0 {
+                policy.set_teacher(Power::from_kilowatts(7.56), 0);
+            }
+            Simulation::new(config.clone(), Box::new(policy), 40 + i)
+        })
+        .collect();
+    let mut batch = BatchSim::new(sims);
+    assert!(batch.learning_devirtualized());
+    for _ in 0..2 * 1440 {
+        batch.step_all(); // warm-up: Q-tables, campaigns, emergency episodes
+    }
+    let before = allocations();
+    for _ in 0..1440 {
+        let down = batch.step_all();
+        std::hint::black_box(down);
+    }
+    let learning_batched = allocations() - before;
+    assert_eq!(
+        learning_batched, 0,
+        "batched learning steady loop must not touch the heap (got {learning_batched} allocations over a day)"
+    );
 }

@@ -9,7 +9,10 @@ use hbm_core::{
 use hbm_units::Power;
 use hbm_workload::TraceShape;
 
-use crate::common::{heading, run_policy, summary_line, trace_recorder, write_csv, Options, Sink};
+use crate::common::{
+    heading, run_sims_batch, summary_line, trace_recorder, warmup_sims_batch, write_csv, Options,
+    Sink,
+};
 use crate::outln;
 
 /// Fig. 8: one-shot attack demonstration (30-minute window).
@@ -83,24 +86,30 @@ pub fn fig9(opts: &Options, out: &mut Sink) {
             true,
         ),
     ];
-    // The three policy runs are independent simulations; run them on the
-    // worker pool and emit their tables in policy order afterwards.
-    let results = hbm_par::par_map(policies, |(name, policy, warmup)| {
-        let mut sim = Simulation::new(config.clone(), policy, opts.seed);
-        if warmup {
-            sim.warmup(opts.warmup_slots());
-        }
-        // Trace only the measured slots: attach after warm-up so the JSONL
-        // lines up with the recorded days.
+    // The three policy runs are independent lanes of one sharded batch:
+    // warm up the learning lane, attach the trace recorders (after warm-up,
+    // so the JSONL lines up with the recorded days), then record every lane
+    // in lockstep.
+    let names: Vec<&str> = policies.iter().map(|(name, _, _)| *name).collect();
+    let lanes: Vec<(Simulation, bool)> = policies
+        .into_iter()
+        .map(|(_, policy, warmup)| (Simulation::new(config.clone(), policy, opts.seed), warmup))
+        .collect();
+    let mut sims = warmup_sims_batch(lanes, opts.warmup_slots());
+    for (sim, name) in sims.iter_mut().zip(&names) {
         if let Some(rec) = trace_recorder(opts, &format!("fig9_{name}")) {
             sim.set_recorder(rec);
         }
-        // Record a few days, then pick the most "interesting" 4-hour window
-        // (most capping slots, then most attack slots) — the paper likewise
-        // shows a snapshot "when the total power/cooling load is relatively
-        // higher".
-        let (_, all) = sim.run_recorded(4 * 1440);
+    }
+    // Record a few days, then pick the most "interesting" 4-hour window
+    // (most capping slots, then most attack slots) — the paper likewise
+    // shows a snapshot "when the total power/cooling load is relatively
+    // higher".
+    let mut run = hbm_core::run_sharded_recorded(sims, 4 * 1440);
+    for sim in run.sims.iter_mut() {
         drop(sim.take_recorder());
+    }
+    let results = names.into_iter().zip(run.records).map(|(name, all)| {
         let window_len = 4 * 60;
         let score = |w: &[SlotRecord]| {
             let capping = w.iter().filter(|r| r.capping).count();
@@ -165,11 +174,19 @@ pub fn fig10(opts: &Options, out: &mut Sink) {
         "Fig. 10 — learnt Foresighted policy structure (w = 9 and w = 14)",
     );
     let config = ColoConfig::paper_default();
-    // The two weights learn independently; train them in parallel.
-    let results = hbm_par::par_map(vec![9.0, 14.0], |w| {
-        let policy = ForesightedPolicy::paper_default(w, opts.seed);
-        let mut sim = Simulation::new(config.clone(), Box::new(policy), opts.seed);
-        sim.warmup(opts.warmup_slots());
+    // The two weights learn independently; train them as lanes of one
+    // sharded batch (one packed Q-table matrix), then read each learnt
+    // policy back out of the returned simulations.
+    let weights = [9.0, 14.0];
+    let sims: Vec<Simulation> = weights
+        .iter()
+        .map(|&w| {
+            let policy = ForesightedPolicy::paper_default(w, opts.seed);
+            Simulation::new(config.clone(), Box::new(policy), opts.seed)
+        })
+        .collect();
+    let sims = hbm_core::run_sharded(sims, opts.warmup_slots()).sims;
+    let results = weights.iter().zip(&sims).map(|(&w, sim)| {
         let p = sim
             .policy()
             .as_any()
@@ -238,7 +255,9 @@ pub fn fig11bc(opts: &Options, out: &mut Sink) {
     );
 
     // All 18 policy/knob combinations are independent year-long runs — the
-    // heaviest sweep in the harness, and the flattest to parallelize.
+    // heaviest sweep in the harness, and the flattest to batch: every
+    // combination becomes one lane of a sharded `BatchSim`, with the seven
+    // foresighted lanes sharing a packed Q-table matrix.
     let mut jobs: Vec<(&str, String, Box<dyn AttackPolicy>, bool)> = Vec::new();
     for p in [0.0, 0.03, 0.08, 0.15] {
         let policy = RandomPolicy::new(p, config.attack_load, config.slot, opts.seed);
@@ -257,11 +276,14 @@ pub fn fig11bc(opts: &Options, out: &mut Sink) {
         let policy = ForesightedPolicy::paper_default(w, opts.seed);
         jobs.push(("foresighted", format!("w={w}"), Box::new(policy), true));
     }
-    let reports = hbm_par::par_map(jobs, |(policy_name, knob, policy, warmup)| {
-        let report = run_policy(&config, policy, opts, warmup);
-        (policy_name, knob, report)
-    });
-    for (policy, knob, report) in reports {
+    let mut labels: Vec<(&str, String)> = Vec::new();
+    let mut lanes: Vec<(Simulation, bool)> = Vec::new();
+    for (policy_name, knob, policy, warmup) in jobs {
+        labels.push((policy_name, knob));
+        lanes.push((Simulation::new(config.clone(), policy, opts.seed), warmup));
+    }
+    let reports = run_sims_batch(lanes, opts.warmup_slots(), opts.slots());
+    for ((policy, knob), report) in labels.into_iter().zip(reports) {
         let m = &report.metrics;
         outln!(
             out,
@@ -309,14 +331,14 @@ pub fn fig13b(opts: &Options, out: &mut Sink) {
 
 fn run_degradation(opts: &Options, out: &mut Sink, config: &ColoConfig, name: &str) {
     let mut rows = Vec::new();
-    let reports = hbm_par::par_map(
-        crate::common::default_policies(config, opts),
-        |(pname, policy, warmup)| {
-            let report = run_policy(config, policy, opts, warmup);
-            (pname, report)
-        },
-    );
-    for (pname, report) in reports {
+    let mut names = Vec::new();
+    let mut lanes: Vec<(Simulation, bool)> = Vec::new();
+    for (pname, policy, warmup) in crate::common::default_policies(config, opts) {
+        names.push(pname);
+        lanes.push((Simulation::new(config.clone(), policy, opts.seed), warmup));
+    }
+    let reports = run_sims_batch(lanes, opts.warmup_slots(), opts.slots());
+    for (pname, report) in names.into_iter().zip(reports) {
         outln!(out, "  {}", summary_line(&pname, &report.metrics));
         rows.push(format!(
             "{pname},{:.4},{:.4}",
@@ -341,7 +363,11 @@ pub fn cost(opts: &Options, out: &mut Sink) {
     );
     let config = ColoConfig::paper_default();
     let policy = ForesightedPolicy::paper_default(14.0, opts.seed);
-    let report = run_policy(&config, Box::new(policy), opts, true);
+    let sim = Simulation::new(config.clone(), Box::new(policy), opts.seed);
+    let report = run_sims_batch(vec![(sim, true)], opts.warmup_slots(), opts.slots())
+        .into_iter()
+        .next()
+        .expect("one lane in, one report out");
     let model = CostModel::paper_default();
     let costs = model.yearly_report(
         &report.metrics,

@@ -19,9 +19,13 @@ pub fn defense(opts: &Options, out: &mut Sink) {
     );
     let config = ColoConfig::paper_default();
     let policy = ForesightedPolicy::paper_default(14.0, opts.seed);
-    let mut sim = Simulation::new(config.clone(), Box::new(policy), opts.seed);
-    sim.warmup(opts.warmup_slots());
-    let (report, records) = sim.run_recorded(opts.slots().min(60 * 1440));
+    let sim = Simulation::new(config.clone(), Box::new(policy), opts.seed);
+    // One-lane batch: same sharded engine as the attack sweeps, and the
+    // determinism contract keeps the records bit-identical to a scalar run.
+    let sims = hbm_core::run_sharded(vec![sim], opts.warmup_slots()).sims;
+    let mut run = hbm_core::run_sharded_recorded(sims, opts.slots().min(60 * 1440));
+    let report = run.reports.remove(0);
+    let records = run.records.remove(0);
     outln!(
         out,
         "  campaign under test: {:.3} % emergency time, {} emergencies",

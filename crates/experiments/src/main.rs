@@ -165,6 +165,16 @@ fn main() {
         std::process::exit(2);
     }
     if ids[0] == "simulate" {
+        // Same contract as whatif: simulate prints one JSON report to
+        // stdout — it writes no CSVs, runs a single lane, and records no
+        // spans, so silently accepting the harness-wide flags would look
+        // like they worked. Fail loudly instead.
+        const UNSUPPORTED: &[&str] = &["--out", "--jobs", "--trace", "--timings", "--timings-json"];
+        if let Some(flag) = raw.iter().find(|a| UNSUPPORTED.contains(&a.as_str())) {
+            eprintln!("error: simulate does not support {flag}");
+            usage();
+            std::process::exit(2);
+        }
         if let Err(e) = run_simulate(&opts, &ids[1..]) {
             eprintln!("error: {e}");
             usage();

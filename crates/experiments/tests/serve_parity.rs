@@ -124,3 +124,31 @@ fn bad_simulate_flags_exit_nonzero_with_usage() {
         .expect("experiments binary runs");
     assert_eq!(output.status.code(), Some(2), "missing --policy must fail");
 }
+
+#[test]
+fn unsupported_harness_flags_exit_two_with_usage() {
+    // simulate prints one JSON report to stdout; the harness-wide output,
+    // parallelism, and timing flags do nothing there, and silently
+    // accepting them would look like they worked.
+    for (flag, value) in [
+        ("--out", Some("somewhere")),
+        ("--jobs", Some("4")),
+        ("--trace", Some("somewhere")),
+        ("--timings", None),
+        ("--timings-json", Some("t.json")),
+    ] {
+        let mut args = vec!["simulate", "--policy", "myopic", "--days", "1", flag];
+        args.extend(value);
+        let output = Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .args(&args)
+            .output()
+            .expect("experiments binary runs");
+        assert_eq!(output.status.code(), Some(2), "{flag} must be rejected");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains(&format!("simulate does not support {flag}")),
+            "{flag}: {stderr}"
+        );
+        assert!(stderr.contains("usage:"), "{flag}: no usage in: {stderr}");
+    }
+}

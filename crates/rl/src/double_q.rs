@@ -62,6 +62,26 @@ impl DoubleQLearning {
         self.gamma
     }
 
+    /// The first table `Q_a` (checkpointing and lane packing).
+    pub fn table_a(&self) -> &QTable {
+        &self.a
+    }
+
+    /// Mutable access to `Q_a`.
+    pub fn table_a_mut(&mut self) -> &mut QTable {
+        &mut self.a
+    }
+
+    /// The second table `Q_b` (checkpointing and lane packing).
+    pub fn table_b(&self) -> &QTable {
+        &self.b
+    }
+
+    /// Mutable access to `Q_b`.
+    pub fn table_b_mut(&mut self) -> &mut QTable {
+        &mut self.b
+    }
+
     /// Combined (summed) value of `(s, a)` — the selection criterion.
     pub fn value(&self, s: usize, a: usize) -> f64 {
         self.a.get(s, a) + self.b.get(s, a)

@@ -16,6 +16,11 @@ pub struct ServeMetrics {
     pub bad_requests: AtomicU64,
     /// Simulation responses served with `200` (cache hits and misses).
     pub simulate_ok: AtomicU64,
+    /// `POST /v1/simulate/batch` jobs executed by a worker.
+    pub batch_requests: AtomicU64,
+    /// Lanes actually simulated by batch jobs (cache misses routed
+    /// through the sharded batch engine; hits cost no simulation).
+    pub batch_lanes_simulated: AtomicU64,
     /// Workers currently running a scenario.
     pub workers_busy: AtomicU64,
     /// Experiments created (`POST /v1/experiments` answered `201`).
@@ -42,6 +47,11 @@ impl ServeMetrics {
     /// Relaxed increment helper.
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed add helper for counters that grow by more than one.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Relaxed read helper.

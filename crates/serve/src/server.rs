@@ -730,6 +730,7 @@ fn run_batch_job(
     scenario: &Scenario,
     count: u64,
 ) -> Result<(String, bool), String> {
+    ServeMetrics::bump(&shared.metrics.batch_requests);
     let sites: Vec<Scenario> = (0..count).map(|i| scenario.site(i)).collect();
     let canonicals: Vec<String> = sites.iter().map(Scenario::config_canonical).collect();
     let mut bodies: Vec<Option<std::sync::Arc<String>>> = vec![None; sites.len()];
@@ -742,6 +743,7 @@ fn run_batch_job(
     }
     let all_hit = missing.is_empty();
     if !all_hit {
+        ServeMetrics::add(&shared.metrics.batch_lanes_simulated, missing.len() as u64);
         let span = timing::start();
         let miss_sites: Vec<Scenario> = missing.iter().map(|&i| sites[i].clone()).collect();
         let reports = run_scenarios_batch(&miss_sites)?;
@@ -1040,6 +1042,14 @@ fn metrics_body(shared: &Shared, workers: usize) -> Vec<u8> {
     .u64(
         "simulate_ok",
         ServeMetrics::get(&shared.metrics.simulate_ok),
+    )
+    .u64(
+        "batch_requests",
+        ServeMetrics::get(&shared.metrics.batch_requests),
+    )
+    .u64(
+        "batch_lanes_simulated",
+        ServeMetrics::get(&shared.metrics.batch_lanes_simulated),
     )
     .u64("shed_total", ServeMetrics::get(&shared.metrics.shed_total))
     .u64(

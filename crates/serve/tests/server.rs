@@ -281,6 +281,17 @@ fn batch_simulate_parity_cache_reuse_and_bounds() {
         expected_sites.join(",")
     )));
 
+    // The daemon metrics count batch jobs and only the lanes that actually
+    // simulated: 3 fresh + 0 (pure hit) + 1 (the one new site of the wider
+    // batch).
+    let (_, _, metrics) = get(addr, "/v1/metrics");
+    assert_eq!(json_u64(&metrics, "batch_requests"), 3, "metrics: {metrics}");
+    assert_eq!(
+        json_u64(&metrics, "batch_lanes_simulated"),
+        4,
+        "metrics: {metrics}"
+    );
+
     // Oversize batches are rejected up front with 413.
     let oversize = "{\"policy\":\"myopic\",\"days\":1,\"warmup_days\":0,\"seed\":40,\"count\":5}";
     let (status, _, body) = post_batch_simulate(addr, oversize);

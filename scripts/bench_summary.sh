@@ -134,6 +134,11 @@ awk -F'"' '
         if (fb > 0 && fi > 0)
             printf "fleet aggregate throughput (1000 sites): batched %.2fM slots/s vs independent %.2fM  ->  %.1fx\n",
                 1e6 / fb, 1e6 / fi, fi / fb
+        lb = median["learning_fleet_slots_per_sec/batched"]
+        li = median["learning_fleet_slots_per_sec/independent"]
+        if (lb > 0 && li > 0)
+            printf "learning-fleet aggregate throughput (1000 Q-learning sites): batched %.2fM slots/s vs independent %.2fM  ->  %.1fx\n",
+                1e6 / lb, 1e6 / li, li / lb
         plain = median["cfd_step_one_minute_40_servers"]
         timed = median["cfd_step_one_minute_40_servers_timed"]
         if (plain > 0 && timed > 0)

@@ -4,9 +4,10 @@
 #
 # Guarded entries are the headline hot-path numbers:
 #
-#   * sim_step_slots_per_sec/recorder_off  (single-scenario steady loop, median_ns)
-#   * fleet_slots_per_sec/batched          (batched fleet engine, median_ns)
-#   * serve/session_slot_ns                (sessionful serving, slot_ns)
+#   * sim_step_slots_per_sec/recorder_off       (single-scenario steady loop, median_ns)
+#   * fleet_slots_per_sec/batched               (batched fleet engine, median_ns)
+#   * learning_fleet_slots_per_sec/batched      (batched learning lanes, median_ns)
+#   * serve/session_slot_ns                     (sessionful serving, slot_ns)
 #   * fork_vs_rerun/fork                   (what-if fork cost, median_ns)
 #   * fork_vs_rerun/rerun                  (rerun-from-0 baseline, median_ns)
 #   * surrogate/predict_4_servers          (surrogate-tier predict, median_ns)
@@ -64,6 +65,7 @@ guard() {
 
 guard "sim_step_slots_per_sec/recorder_off" median_ns
 guard "fleet_slots_per_sec/batched" median_ns
+guard "learning_fleet_slots_per_sec/batched" median_ns
 guard "serve/session_slot_ns" slot_ns
 guard "fork_vs_rerun/fork" median_ns
 guard "fork_vs_rerun/rerun" median_ns
